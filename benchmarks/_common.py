@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures/tables (or one of
+the evaluation tables DESIGN.md defines) and both prints it and records
+it under ``benchmarks/results/`` so the output survives pytest's capture
+(`pytest benchmarks/ --benchmark-only -s` shows it live).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.ir.printer import format_table
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table and persist it to results/<name>.txt."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_table(
+    name: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str,
+) -> str:
+    text = format_table(headers, rows, title=title)
+    emit(name, text)
+    return text

@@ -1,0 +1,58 @@
+"""Experiment Fig. E2: critical-path growth per unit of excess removed.
+
+For each transformation kind, records how much critical path one
+committed application costs per unit of excess it removes, across the
+kernel suite on tight machines.  Expected shape (paper §4/§5): FU and
+register sequencing are cheap per unit; spilling costs more (it adds
+memory ops on the path) but is always applicable.
+"""
+
+import pytest
+
+from _common import emit_table
+from repro.core.allocator import allocate
+from repro.graph.dag import DependenceDAG
+from repro.machine.model import MachineModel
+from repro.workloads.kernels import KERNELS, kernel
+
+MACHINES = [MachineModel.homogeneous(2, 4), MachineModel.homogeneous(4, 6)]
+
+
+def collect_records():
+    per_kind = {}
+    for name in sorted(KERNELS):
+        for machine in MACHINES:
+            dag = DependenceDAG.from_trace(kernel(name))
+            result = allocate(dag, machine)
+            for record in result.records:
+                kind = record.kind.split("-fallback")[0]
+                removed = max(1, record.excess_before - record.excess_after)
+                growth = record.critical_path_after - record.critical_path_before
+                bucket = per_kind.setdefault(kind, [0, 0.0, 0])
+                bucket[0] += 1
+                bucket[1] += growth / removed
+                bucket[2] += removed
+    return per_kind
+
+
+def test_fig_e2(benchmark):
+    per_kind = benchmark.pedantic(collect_records, rounds=1, iterations=1)
+    rows = [
+        (
+            kind,
+            count,
+            total_removed,
+            f"{ratio_sum / count:.2f}",
+        )
+        for kind, (count, ratio_sum, total_removed) in sorted(per_kind.items())
+    ]
+    emit_table(
+        "fig_e2_cp_growth",
+        ("transformation", "applications", "excess removed", "CP growth / unit"),
+        rows,
+        "Figure E2 — critical-path cost per unit of excess removed",
+    )
+    assert per_kind, "no transformations were recorded"
+    # Sequencing exists and never shows pathological per-unit cost.
+    for kind, (count, ratio_sum, _) in per_kind.items():
+        assert ratio_sum / count < 12, f"{kind} is pathologically expensive"

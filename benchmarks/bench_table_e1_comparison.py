@@ -1,0 +1,75 @@
+"""Experiment Table E1: URSA vs the phase-ordered baselines.
+
+The paper publishes no quantitative evaluation; this table runs the
+comparison it sets up — URSA against prepass scheduling, postpass
+(allocate-then-schedule) and Goodman–Hsu integrated scheduling — on the
+kernel suite across a machine grid.  Expected shape: URSA's advantage
+concentrates where resources are tight (few registers and replicated
+parallel structure); all methods converge on generous machines.
+"""
+
+import pytest
+
+from _common import emit_table
+from repro.machine.model import MachineModel
+from repro.pipeline import compare_methods
+from repro.workloads.kernels import kernel
+
+KERNEL_ARGS = {
+    "dot-product": {"unroll": 6},
+    "fft-butterfly": {"pairs": 2},
+    "matmul": {"n": 2},
+    "hydro": {"unroll": 3},
+    "stencil5": {"points": 3},
+    "saxpy": {"unroll": 4},
+}
+METHODS = ("ursa", "prepass", "postpass", "goodman-hsu")
+GRID = ((2, 4), (4, 6), (4, 16), (8, 8))
+
+
+def run_grid():
+    rows = []
+    summary = {"wins": 0, "cells": 0}
+    for name, args in sorted(KERNEL_ARGS.items()):
+        trace = kernel(name, **args)
+        for n_fus, n_regs in GRID:
+            machine = MachineModel.homogeneous(n_fus, n_regs)
+            results = compare_methods(trace, machine, methods=METHODS)
+            assert all(r.verified for r in results.values())
+            cycles = {m: results[m].stats.cycles for m in METHODS}
+            spills = {m: results[m].stats.spill_ops for m in METHODS}
+            best = min(cycles.values())
+            summary["cells"] += 1
+            if cycles["ursa"] == best:
+                summary["wins"] += 1
+            rows.append(
+                (
+                    name,
+                    f"{n_fus}fu/{n_regs}r",
+                    *(f"{cycles[m]}({spills[m]})" for m in METHODS),
+                    min(METHODS, key=lambda m: (cycles[m], spills[m])),
+                )
+            )
+    return rows, summary
+
+
+def test_table_e1(benchmark):
+    rows, summary = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    emit_table(
+        "table_e1_comparison",
+        ("kernel", "machine", *(f"{m} cyc(spill)" for m in METHODS), "best"),
+        rows,
+        "Table E1 — cycles (spill ops) per method across the machine grid",
+    )
+    # Shape checks rather than absolute numbers: URSA must win or tie on
+    # a meaningful share of the tight configurations and on the
+    # replicated-structure kernel specifically.
+    tight_fft = [
+        r for r in rows if r[0] == "fft-butterfly" and r[1] in ("2fu/4r", "4fu/6r")
+    ]
+    for row in tight_fft:
+        ursa_cycles = int(row[2].split("(")[0])
+        prepass_cycles = int(row[3].split("(")[0])
+        postpass_cycles = int(row[4].split("(")[0])
+        assert ursa_cycles <= prepass_cycles
+        assert ursa_cycles <= postpass_cycles

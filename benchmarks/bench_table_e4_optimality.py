@@ -1,0 +1,71 @@
+"""Experiment Table E4: heuristic quality against the exact optimum.
+
+For small random DAGs (where exhaustive search is feasible), compares
+every method's cycle count against the true optimum for the machine.
+This quantifies how much each phase ordering costs beyond the
+unavoidable: URSA's worst-case serialization, prepass's spill patches
+and postpass's reuse edges all show up as ratios over 1.0.
+"""
+
+import pytest
+
+from _common import emit_table
+from repro.graph.dag import DependenceDAG
+from repro.machine.model import MachineModel
+from repro.pipeline import compile_trace
+from repro.scheduling.optimal import optimal_schedule_length
+from repro.workloads.random_dags import random_layered_trace
+
+METHODS = ("ursa", "prepass", "postpass", "goodman-hsu")
+MACHINES = [MachineModel.homogeneous(2, 4), MachineModel.homogeneous(2, 6)]
+SEEDS = range(10)
+N_OPS = 10
+
+
+def run_quality():
+    totals = {
+        (machine.name, method): [0.0, 0]
+        for machine in MACHINES
+        for method in METHODS
+    }
+    skipped = 0
+    for machine in MACHINES:
+        for seed in SEEDS:
+            trace = random_layered_trace(
+                n_ops=N_OPS, width=3, seed=seed, n_inputs=2
+            )
+            dag = DependenceDAG.from_trace(trace)
+            optimum = optimal_schedule_length(dag, machine)
+            if optimum is None:
+                skipped += 1
+                continue
+            for method in METHODS:
+                result = compile_trace(trace, machine, method=method, seed=seed)
+                assert result.verified
+                assert result.stats.cycles >= optimum
+                bucket = totals[(machine.name, method)]
+                bucket[0] += result.stats.cycles / optimum
+                bucket[1] += 1
+    rows = []
+    for machine in MACHINES:
+        for method in METHODS:
+            ratio_sum, count = totals[(machine.name, method)]
+            rows.append(
+                (machine.name, method, count, f"{ratio_sum / count:.2f}")
+            )
+    return rows, skipped
+
+
+def test_table_e4(benchmark):
+    rows, skipped = benchmark.pedantic(run_quality, rounds=1, iterations=1)
+    emit_table(
+        "table_e4_optimality",
+        ("machine", "method", "samples", "cycles / optimal"),
+        rows,
+        "Table E4 — mean cycle ratio over the exact optimum "
+        f"(spill-infeasible instances skipped: {skipped})",
+    )
+    for machine, method, count, ratio in rows:
+        assert count > 0
+        assert float(ratio) >= 1.0
+        assert float(ratio) < 3.0, f"{method} pathologically bad on {machine}"

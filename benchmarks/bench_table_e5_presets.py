@@ -1,0 +1,56 @@
+"""Experiment Table E5: the preset machine grid.
+
+Runs URSA and the baselines over the preset machines — narrow embedded,
+the mid-size research VLIW, a Multiflow-TRACE-7-like wide machine, and
+a Cydra-like classed machine with long pipelined memory — on a
+representative kernel pair.  The interesting shape: the classed wide
+machines shift the bottleneck from registers to the single memory port,
+and the pipelined Cydra-like machine rewards methods that overlap
+latency rather than width.
+"""
+
+import pytest
+
+from _common import emit_table
+from repro.machine.presets import PRESETS, preset
+from repro.pipeline import compare_methods
+from repro.workloads.kernels import kernel
+
+METHODS = ("ursa", "prepass", "postpass", "goodman-hsu")
+KERNELS = (("fft-butterfly", {}), ("hydro", {"unroll": 3}))
+
+
+def run_presets():
+    rows = []
+    for preset_name in sorted(PRESETS):
+        machine = preset(preset_name)
+        if preset_name == "dsp":
+            continue  # dual-class values need f-prefixed kernels; skip here
+        for kernel_name, args in KERNELS:
+            results = compare_methods(
+                kernel(kernel_name, **args), machine, methods=METHODS
+            )
+            assert all(r.verified for r in results.values())
+            rows.append(
+                (
+                    preset_name,
+                    kernel_name,
+                    *(
+                        f"{results[m].stats.cycles}"
+                        f"({results[m].stats.spill_ops})"
+                        for m in METHODS
+                    ),
+                )
+            )
+    return rows
+
+
+def test_table_e5(benchmark):
+    rows = benchmark.pedantic(run_presets, rounds=1, iterations=1)
+    emit_table(
+        "table_e5_presets",
+        ("machine", "kernel", *(f"{m} cyc(spl)" for m in METHODS)),
+        rows,
+        "Table E5 — preset machines: cycles (spill ops) per method",
+    )
+    assert len(rows) == 8

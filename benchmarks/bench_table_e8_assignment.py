@@ -1,0 +1,67 @@
+"""Experiment Table E8: assignment-backend ablation.
+
+The paper defines *what* assignment does (bind units and registers
+after allocation) but not *how*.  Two realizations are compared on
+URSA-allocated DAGs:
+
+* bind — the list scheduler claims registers at issue (can emergency-
+  spill when the Kill() heuristic leaked);
+* color — schedule for FUs only, then color the realized live
+  intervals (spill-free by construction, falls back to bind on
+  overflow).
+
+If URSA's allocation contract holds, the two should be nearly
+identical — which is itself a meaningful check of the contract.
+"""
+
+import pytest
+
+from _common import emit_table
+from repro.machine.model import MachineModel
+from repro.pipeline import compile_trace
+from repro.workloads.kernels import kernel
+
+CASES = [
+    ("figure2", (2, 3)),
+    ("fft-butterfly", (4, 6)),
+    ("stencil5", (2, 4)),
+    ("matvec", (4, 6)),
+    ("saxpy", (2, 4)),
+]
+
+
+def run_backends():
+    rows = []
+    for name, (n_fus, n_regs) in CASES:
+        machine = MachineModel.homogeneous(n_fus, n_regs)
+        cells = {}
+        for backend in ("bind", "color"):
+            result = compile_trace(
+                kernel(name), machine, assignment=backend
+            )
+            assert result.verified
+            cells[backend] = (result.stats.cycles, result.stats.spill_ops)
+        rows.append(
+            (
+                name,
+                f"{n_fus}fu/{n_regs}r",
+                f"{cells['bind'][0]}({cells['bind'][1]})",
+                f"{cells['color'][0]}({cells['color'][1]})",
+            )
+        )
+    return rows
+
+
+def test_table_e8(benchmark):
+    rows = benchmark.pedantic(run_backends, rounds=1, iterations=1)
+    emit_table(
+        "table_e8_assignment",
+        ("kernel", "machine", "bind cyc(spl)", "color cyc(spl)"),
+        rows,
+        "Table E8 — assignment backends on URSA-allocated DAGs",
+    )
+    # The two backends must stay close when allocation converged.
+    for name, machine, bind_cell, color_cell in rows:
+        bind_cycles = int(bind_cell.split("(")[0])
+        color_cycles = int(color_cell.split("(")[0])
+        assert abs(bind_cycles - color_cycles) <= max(4, bind_cycles // 2)

@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Allow `from _common import ...` inside benchmark modules.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Loop unrolling x URSA: the resource-constrained pipelining direction.
+
+The paper's future work combines URSA with loop unrolling to build a
+"resource constrained software pipelining technique" (§6).  This example
+takes that first step: unroll a loop body by increasing factors and let
+URSA allocate each unrolled trace, reporting how cycles-per-iteration
+improve until the machine's resources saturate — the point URSA's
+measurements identify *before* scheduling.
+
+Run:  python examples/loop_unrolling.py
+"""
+
+from repro import MachineModel, compile_trace
+from repro.core.measure import measure_all
+from repro.graph.dag import DependenceDAG
+from repro.ir import format_table
+from repro.workloads import livermore_hydro
+
+UNROLLS = (1, 2, 4, 6, 8)
+
+
+def main() -> None:
+    machine = MachineModel.homogeneous(4, 8)
+    print(f"Machine: {machine.describe()}")
+    print("Kernel:  Livermore loop 1 (hydro fragment), unrolled\n")
+
+    rows = []
+    for unroll in UNROLLS:
+        trace = livermore_hydro(unroll=unroll)
+        dag = DependenceDAG.from_trace(trace)
+        requirements = {
+            f"{r.kind.value}:{r.cls}": r.required
+            for r in measure_all(dag, machine)
+        }
+        result = compile_trace(trace, machine, method="ursa")
+        assert result.verified
+        cycles = result.simulation.cycles
+        rows.append(
+            (
+                unroll,
+                len(trace),
+                requirements.get("fu:any"),
+                requirements.get("reg:gpr"),
+                cycles,
+                f"{cycles / unroll:.1f}",
+                result.stats.spill_ops,
+            )
+        )
+
+    print(
+        format_table(
+            (
+                "unroll", "ops", "FU need", "Reg need",
+                "cycles", "cycles/iter", "spills",
+            ),
+            rows,
+            "URSA on unrolled loop bodies",
+        )
+    )
+    print(
+        "\nReading: cycles/iteration falls with unrolling until the "
+        "measured requirements exceed the machine and spills appear."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; offline boxes
+without `wheel` can use `python setup.py develop` instead.
+"""
+from setuptools import setup
+
+setup()

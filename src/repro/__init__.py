@@ -1,0 +1,84 @@
+"""URSA: a Unified ReSource Allocator for registers and functional units
+in VLIW architectures — a full reproduction of Berson, Gupta & Soffa
+(PACT 1993).
+
+Quickstart::
+
+    from repro import MachineModel, compile_trace
+    from repro.workloads import kernel
+
+    machine = MachineModel.homogeneous(n_fus=4, n_regs=8)
+    result = compile_trace(kernel("dot-product", unroll=8), machine)
+    print(result.stats.cycles, result.verified)
+"""
+
+from repro.core import (
+    AllocationResult,
+    Policy,
+    URSAAllocator,
+    allocate,
+    measure_all,
+    measure_fu,
+    measure_registers,
+)
+from repro.graph import DependenceDAG
+from repro.ir import (
+    Instruction,
+    Opcode,
+    Program,
+    TraceBuilder,
+    parse_program,
+    parse_trace,
+)
+from repro.machine import MachineModel, VLIWProgram, VLIWSimulator
+from repro.pipeline import (
+    METHODS,
+    CompilationResult,
+    PipelineError,
+    build_dag,
+    compare_methods,
+    compile_trace,
+    synthesize_memory,
+)
+from repro.program_compiler import (
+    CompiledProgram,
+    ProgramRunResult,
+    compile_program,
+    verify_compiled_program,
+)
+from repro.scheduling import ListScheduler, Schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationResult",
+    "CompilationResult",
+    "DependenceDAG",
+    "Instruction",
+    "ListScheduler",
+    "METHODS",
+    "MachineModel",
+    "Opcode",
+    "PipelineError",
+    "Policy",
+    "Program",
+    "Schedule",
+    "TraceBuilder",
+    "URSAAllocator",
+    "VLIWProgram",
+    "CompiledProgram",
+    "ProgramRunResult",
+    "compile_program",
+    "verify_compiled_program",
+    "VLIWSimulator",
+    "allocate",
+    "build_dag",
+    "compare_methods",
+    "compile_trace",
+    "measure_all",
+    "measure_fu",
+    "measure_registers",
+    "parse_program",
+    "parse_trace",
+    "synthesize_memory",
+]

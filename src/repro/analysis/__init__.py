@@ -1,0 +1,25 @@
+"""Program analyses, metrics, visualization and reporting.
+
+``visualize`` and ``reporting`` are intentionally not re-exported here:
+they depend on the graph/scheduling layers, which import this package's
+``liveness`` during initialization — import them as
+``repro.analysis.visualize`` / ``repro.analysis.reporting`` directly.
+"""
+
+from repro.analysis.liveness import (
+    block_live_sets,
+    block_use_def,
+    linear_live_before,
+    max_linear_pressure,
+)
+from repro.analysis.metrics import STATS_HEADERS, ScheduleStats, speedup
+
+__all__ = [
+    "STATS_HEADERS",
+    "ScheduleStats",
+    "block_live_sets",
+    "block_use_def",
+    "linear_live_before",
+    "max_linear_pressure",
+    "speedup",
+]

@@ -1,0 +1,79 @@
+"""Schedule and program quality metrics reported by the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.machine.simulator import SimulationResult
+from repro.machine.vliw import VLIWProgram
+
+if TYPE_CHECKING:  # avoid a circular import through repro.scheduling
+    from repro.scheduling.list_scheduler import Schedule
+
+
+@dataclass
+class ScheduleStats:
+    """Quality metrics for one compiled trace."""
+
+    method: str
+    machine: str
+    cycles: int
+    ops: int
+    spill_ops: int
+    issue_words: int
+    utilization: float
+    max_pressure: Dict[str, int]
+    verified: Optional[bool] = None
+
+    @classmethod
+    def collect(
+        cls,
+        method: str,
+        schedule: Schedule,
+        program: VLIWProgram,
+        sim: Optional[SimulationResult] = None,
+        verified: Optional[bool] = None,
+    ) -> "ScheduleStats":
+        pressure = {
+            reg_cls: schedule.max_live_registers(reg_cls)
+            for reg_cls in schedule.machine.registers
+        }
+        return cls(
+            method=method,
+            machine=schedule.machine.name,
+            cycles=sim.cycles if sim is not None else schedule.length,
+            ops=program.op_count,
+            spill_ops=program.spill_op_count,
+            issue_words=program.issue_cycles,
+            utilization=program.utilization(),
+            max_pressure=pressure,
+            verified=verified,
+        )
+
+    def row(self) -> tuple:
+        """A tuple for tabular benchmark output."""
+        pressure = ",".join(
+            f"{cls}={n}" for cls, n in sorted(self.max_pressure.items())
+        )
+        return (
+            self.method,
+            self.cycles,
+            self.spill_ops,
+            self.ops,
+            f"{self.utilization:.2f}",
+            pressure,
+            "ok" if self.verified else ("?" if self.verified is None else "FAIL"),
+        )
+
+
+STATS_HEADERS = (
+    "method", "cycles", "spills", "ops", "util", "pressure", "verified"
+)
+
+
+def speedup(baseline: ScheduleStats, improved: ScheduleStats) -> float:
+    """Cycle-count speedup of ``improved`` over ``baseline``."""
+    if improved.cycles == 0:
+        return float("inf")
+    return baseline.cycles / improved.cycles

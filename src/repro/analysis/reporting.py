@@ -1,0 +1,92 @@
+"""Markdown compilation reports: everything about one compile, in one
+document — measured requirements, URSA's transformation log, the VLIW
+code, the occupancy chart, and the verification verdict."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.visualize import pressure_profile, schedule_gantt
+from repro.core.measure import measure_all
+from repro.graph.dag import DependenceDAG
+from repro.ir.printer import format_trace
+from repro.pipeline import CompilationResult
+
+
+def compilation_report(
+    result: CompilationResult,
+    title: Optional[str] = None,
+    include_code: bool = True,
+    include_charts: bool = True,
+) -> str:
+    """Render a :class:`CompilationResult` as a Markdown document."""
+    machine = result.machine
+    lines: List[str] = []
+    lines.append(f"# {title or 'Compilation report'}")
+    lines.append("")
+    lines.append(f"* method: `{result.method}`")
+    lines.append(f"* machine: `{machine.describe()}`")
+    lines.append(f"* cycles: **{result.stats.cycles}**")
+    lines.append(f"* spill ops: {result.stats.spill_ops}")
+    lines.append(f"* FU utilization: {result.stats.utilization:.2f}")
+    verdict = {True: "verified ✅", False: "MISMATCH ❌", None: "not simulated"}
+    lines.append(f"* correctness: {verdict[result.verified]}")
+    lines.append("")
+
+    lines.append("## Measured requirements (final DAG)")
+    lines.append("")
+    lines.append("| resource | required | available |")
+    lines.append("|---|---|---|")
+    for requirement in measure_all(result.dag, machine):
+        lines.append(
+            f"| {requirement.kind.value}:{requirement.cls} "
+            f"| {requirement.required} | {requirement.available} |"
+        )
+    lines.append("")
+
+    if result.allocation is not None:
+        allocation = result.allocation
+        status = "converged" if allocation.converged else "not converged"
+        lines.append(
+            f"## URSA allocation ({status}, "
+            f"{len(allocation.records)} transformations)"
+        )
+        lines.append("")
+        if allocation.records:
+            lines.append("| # | kind | excess | critical path | edit |")
+            lines.append("|---|---|---|---|---|")
+            for record in allocation.records:
+                lines.append(
+                    f"| {record.iteration} | {record.kind} "
+                    f"| {record.excess_before}→{record.excess_after} "
+                    f"| {record.critical_path_before}→"
+                    f"{record.critical_path_after} "
+                    f"| {record.description} |"
+                )
+        else:
+            lines.append("No transformations were needed.")
+        lines.append("")
+
+    if include_code:
+        lines.append("## VLIW code")
+        lines.append("")
+        lines.append("```")
+        lines.append(str(result.program))
+        lines.append("```")
+        lines.append("")
+
+    if include_charts:
+        lines.append("## Unit occupancy")
+        lines.append("")
+        lines.append("```")
+        lines.append(schedule_gantt(result.schedule, machine))
+        lines.append("```")
+        lines.append("")
+        lines.append("## Register pressure")
+        lines.append("")
+        lines.append("```")
+        lines.append(pressure_profile(result.schedule))
+        lines.append("```")
+        lines.append("")
+
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Visualization helpers: Graphviz DOT export and ASCII schedule charts.
+
+Pure-text renderers (no drawing dependencies): DAGs and reuse chains go
+to Graphviz DOT source for external rendering; schedules render as an
+ASCII occupancy chart (one row per functional unit, one column per
+cycle) that makes stalls and serialization visually obvious in logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.dag import DependenceDAG, EdgeKind
+from repro.machine.model import MachineModel
+from repro.scheduling.list_scheduler import Schedule
+
+
+def _node_label(dag: DependenceDAG, uid: int) -> str:
+    inst = dag.instruction(uid)
+    if uid == dag.entry:
+        return "ENTRY"
+    if uid == dag.exit:
+        return "EXIT"
+    return str(inst)
+
+
+def dag_to_dot(
+    dag: DependenceDAG,
+    title: str = "dependence DAG",
+    include_pseudo: bool = False,
+    highlight: Optional[Sequence[int]] = None,
+) -> str:
+    """Render the DAG as Graphviz DOT source.
+
+    Data edges are solid and labelled with their value; sequence edges
+    are dashed and labelled with their reason.  ``highlight`` nodes are
+    drawn filled (useful for excessive chain sets).
+    """
+    highlight_set = set(highlight or ())
+    lines = [
+        "digraph ursa {",
+        f'  label="{title}";',
+        "  rankdir=TB;",
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    for uid in dag.nodes():
+        if not include_pseudo and uid in (dag.entry, dag.exit):
+            continue
+        attrs = [f'label="[{uid}] {_node_label(dag, uid)}"']
+        if uid in highlight_set:
+            attrs.append('style=filled, fillcolor="lightgoldenrod"')
+        lines.append(f"  n{uid} [{', '.join(attrs)}];")
+    for src, dst, data in dag.edges():
+        if not include_pseudo and (
+            src in (dag.entry, dag.exit) or dst in (dag.entry, dag.exit)
+        ):
+            continue
+        if data["kind"] is EdgeKind.DATA:
+            label = data.get("value", "")
+            lines.append(f'  n{src} -> n{dst} [label="{label}"];')
+        else:
+            reason = data.get("reason", "seq")
+            lines.append(
+                f'  n{src} -> n{dst} [style=dashed, color=gray40, '
+                f'label="{reason}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def chains_to_dot(
+    dag: DependenceDAG,
+    chains: Sequence[Sequence[int]],
+    title: str = "allocation chains",
+) -> str:
+    """Render a chain decomposition: one color-ranked cluster per chain."""
+    palette = [
+        "lightblue", "lightgoldenrod", "palegreen", "lightpink",
+        "lightsalmon", "plum", "khaki", "lightcyan",
+    ]
+    lines = [
+        "digraph chains {",
+        f'  label="{title}";',
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    colored: Dict[int, str] = {}
+    for index, chain in enumerate(chains):
+        color = palette[index % len(palette)]
+        for uid in chain:
+            colored[uid] = color
+    for uid in dag.op_nodes():
+        color = colored.get(uid, "white")
+        lines.append(
+            f'  n{uid} [label="[{uid}] {_node_label(dag, uid)}", '
+            f'style=filled, fillcolor="{color}"];'
+        )
+    for src, dst, data in dag.edges():
+        if src in (dag.entry, dag.exit) or dst in (dag.entry, dag.exit):
+            continue
+        style = "solid" if data["kind"] is EdgeKind.DATA else "dashed"
+        lines.append(f"  n{src} -> n{dst} [style={style}];")
+    for index, chain in enumerate(chains):
+        for earlier, later in zip(chain, chain[1:]):
+            lines.append(
+                f"  n{earlier} -> n{later} "
+                f"[color=red, penwidth=2.0, constraint=false];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_gantt(
+    schedule: Schedule,
+    machine: Optional[MachineModel] = None,
+    cell_width: int = 5,
+) -> str:
+    """ASCII occupancy chart: rows are FU instances, columns cycles.
+
+    Each cell shows the issuing op's uid (or ``sp``/``re`` for spill
+    code); dots are idle slots.  Latency occupancy is drawn with ``=``.
+    """
+    machine = machine or schedule.machine
+    if not schedule.ops:
+        return "(empty schedule)"
+    cycles = max(op.cycle for op in schedule.ops) + 1
+
+    rows: Dict[tuple, List[str]] = {
+        (fu.name, index): ["." * cell_width] * cycles
+        for fu in machine.fu_classes
+        for index in range(fu.count)
+    }
+    for op in schedule.ops:
+        if op.uid is not None:
+            tag = str(op.uid)
+        elif op.inst.op.value == "spill":
+            tag = "sp"
+        else:
+            tag = "re"
+        cell = tag[:cell_width].center(cell_width)
+        rows[(op.fu_class, op.fu_index)][op.cycle] = cell
+        latency = machine.fu_class(op.fu_class).latency
+        for extra in range(1, latency):
+            if op.cycle + extra < cycles:
+                rows[(op.fu_class, op.fu_index)][op.cycle + extra] = (
+                    "=" * cell_width
+                )
+
+    header = "cycle".ljust(10) + "".join(
+        str(c).center(cell_width) for c in range(cycles)
+    )
+    lines = [header, "-" * len(header)]
+    for (cls, index), cells in sorted(rows.items()):
+        lines.append(f"{cls}[{index}]".ljust(10) + "".join(cells))
+    return "\n".join(lines)
+
+
+def pressure_profile(schedule: Schedule, reg_class: str = "gpr") -> str:
+    """ASCII bar chart of register occupancy per cycle."""
+    if not schedule.ops:
+        return "(empty schedule)"
+    first: Dict[str, int] = {}
+    last: Dict[str, int] = {}
+    for op in schedule.ops:
+        if op.inst.dest is not None:
+            first[op.inst.dest] = op.cycle
+            last.setdefault(op.inst.dest, op.cycle)
+        for name in op.inst.uses():
+            last[name] = max(last.get(name, 0), op.cycle)
+    for name in schedule.live_in_regs:
+        first[name] = 0
+    for name in schedule.live_out_regs:
+        last[name] = schedule.length
+
+    cycles = max(op.cycle for op in schedule.ops) + 1
+    lines = []
+    for cycle in range(cycles):
+        # Occupancy interval is (def cycle, last-use cycle]: a register
+        # holds its value from the end of the defining cycle through the
+        # issue of the last use (read-at-issue lets a dest reuse a
+        # source's register within one cycle).
+        live = sum(
+            1
+            for name, start in first.items()
+            if schedule.reg_assignment.get(name) is not None
+            and schedule.reg_assignment[name].cls == reg_class
+            and start < cycle <= last.get(name, start)
+        )
+        lines.append(f"{cycle:4d} |{'#' * live} {live}")
+    return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands:
+
+* ``measure``  — print measured worst-case requirements for a trace;
+* ``compile``  — compile one trace, print the VLIW code and stats;
+* ``compare``  — compare all methods on one trace;
+* ``program``  — compile a whole multi-block program and execute it;
+* ``pipeline`` — unroll-and-allocate sweep for a canonical loop.
+
+Traces/programs come from a file path or from ``--kernel <name>``.
+Initial memory cells are passed as ``--mem base[+offset]=value``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import STATS_HEADERS
+from repro.analysis.visualize import dag_to_dot, schedule_gantt
+from repro.core.measure import find_excessive_sets, measure_all
+from repro.graph.dag import DependenceDAG
+from repro.ir.parser import parse_program, parse_trace
+from repro.ir.printer import format_table, format_trace
+from repro.machine.model import MachineModel
+from repro.pipeline import METHODS, compare_methods, compile_trace
+from repro.program_compiler import compile_program, verify_compiled_program
+from repro.software_pipelining import (
+    LOOPS,
+    min_initiation_interval,
+    pipeline_sweep,
+)
+from repro.workloads.kernels import KERNELS, kernel
+
+
+def _machine_from_args(args: argparse.Namespace) -> MachineModel:
+    if getattr(args, "classed", False):
+        return MachineModel.classed(
+            alu=args.fus, mul=max(1, args.fus // 2), mem=max(1, args.fus // 2),
+            branch=1, alu_regs=args.regs,
+        )
+    return MachineModel.homogeneous(args.fus, args.regs)
+
+
+def _parse_memory(entries: Optional[Sequence[str]]) -> Dict[Tuple[str, int], int]:
+    memory: Dict[Tuple[str, int], int] = {}
+    for entry in entries or ():
+        try:
+            cell, value = entry.split("=", 1)
+            if "+" in cell:
+                base, offset = cell.split("+", 1)
+                memory[(base, int(offset))] = int(value)
+            else:
+                memory[(cell, 0)] = int(value)
+        except ValueError:
+            raise SystemExit(f"bad --mem entry {entry!r}; use base[+off]=value")
+    return memory
+
+
+def _load_trace(args: argparse.Namespace):
+    if args.kernel is not None:
+        return kernel(args.kernel)
+    if args.source is None:
+        raise SystemExit("give a source file or --kernel <name>")
+    return parse_trace(Path(args.source).read_text())
+
+
+def _add_common(parser: argparse.ArgumentParser, kernels: bool = True) -> None:
+    parser.add_argument("source", nargs="?", help="ursa-lang source file")
+    if kernels:
+        parser.add_argument(
+            "--kernel", choices=sorted(KERNELS), help="built-in kernel instead"
+        )
+    parser.add_argument("--fus", type=int, default=4, help="functional units")
+    parser.add_argument("--regs", type=int, default=8, help="registers")
+    parser.add_argument(
+        "--classed", action="store_true",
+        help="use a classed machine (alu/mul/mem/branch) instead of homogeneous",
+    )
+
+
+# ======================================================================
+# Subcommands.
+# ======================================================================
+def cmd_measure(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    machine = _machine_from_args(args)
+    dag = DependenceDAG.from_trace(trace)
+    print(f"machine: {machine.describe()}")
+    for requirement in measure_all(dag, machine):
+        print(f"  {requirement.describe()}")
+        for ecs in find_excessive_sets(dag, requirement):
+            chains = " | ".join(
+                ",".join(str(e) for e in chain) for chain in ecs.chains
+            )
+            print(f"    excessive set (excess {ecs.excess}): {chains}")
+    if args.dot:
+        print(dag_to_dot(dag))
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    machine = _machine_from_args(args)
+    memory = _parse_memory(args.mem)
+    result = compile_trace(
+        trace, machine, method=args.method,
+        memory=memory or None,
+    )
+    print(f"machine: {machine.describe()}   method: {args.method}")
+    if args.show_source:
+        print(format_trace(trace))
+        print()
+    print(result.program)
+    if args.gantt:
+        print()
+        print(schedule_gantt(result.schedule))
+    print(
+        f"\ncycles={result.stats.cycles} spills={result.stats.spill_ops} "
+        f"utilization={result.stats.utilization:.2f} verified={result.verified}"
+    )
+    if result.allocation is not None:
+        for record in result.allocation.records:
+            print(f"  [{record.kind}] {record.description}")
+    if args.report:
+        from repro.analysis.reporting import compilation_report
+
+        Path(args.report).write_text(
+            compilation_report(result, title=f"{args.method} compilation")
+        )
+        print(f"report written to {args.report}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    machine = _machine_from_args(args)
+    methods = args.methods or ["ursa", "prepass", "postpass", "goodman-hsu"]
+    results = compare_methods(trace, machine, methods=methods)
+    rows = [results[m].stats.row() for m in methods]
+    print(format_table(STATS_HEADERS, rows, title=machine.describe()))
+    return 0
+
+
+def cmd_program(args: argparse.Namespace) -> int:
+    if args.source is None:
+        raise SystemExit("program command needs a source file")
+    program = parse_program(Path(args.source).read_text())
+    machine = _machine_from_args(args)
+    memory = _parse_memory(args.mem)
+    compiled = compile_program(program, machine, method=args.method)
+    run, ok = verify_compiled_program(compiled, memory)
+    print(f"machine: {machine.describe()}   method: {args.method}")
+    print(f"traces: {sorted(compiled.traces)}")
+    print(f"dynamic cycles: {run.cycles}")
+    print(f"dispatch path: {' -> '.join(run.trace_path)}")
+    print("final user memory:")
+    for cell, value in sorted(run.user_memory().items()):
+        print(f"  [{cell[0]}+{cell[1]}] = {value}")
+    print(f"verified: {ok}")
+    return 0 if ok else 1
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    spec = LOOPS[args.loop]()
+    machine = _machine_from_args(args)
+    factors = [int(f) for f in args.factors.split(",")]
+    mii, res, rec = min_initiation_interval(spec, machine)
+    results = pipeline_sweep(spec, machine, factors=factors, method=args.method)
+    print(
+        format_table(
+            ("unroll", "cycles", "cyc/iter", "spills", "FU need",
+             "Reg need", "verified"),
+            [r.row() for r in results],
+            title=(
+                f"{args.loop} on {machine.describe()} — "
+                f"MII {mii:.2f} (res {res:.2f}, rec {rec})"
+            ),
+        )
+    )
+    return 0
+
+
+# ======================================================================
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="URSA (PACT 1993) reproduction — VLIW unified resource allocation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("measure", help="measure worst-case requirements")
+    _add_common(p)
+    p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser("compile", help="compile one trace")
+    _add_common(p)
+    p.add_argument("--method", choices=METHODS, default="ursa")
+    p.add_argument("--mem", action="append", help="base[+off]=value")
+    p.add_argument("--gantt", action="store_true", help="ASCII occupancy chart")
+    p.add_argument("--show-source", action="store_true")
+    p.add_argument("--report", metavar="PATH", help="write a Markdown report")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("compare", help="compare methods on one trace")
+    _add_common(p)
+    p.add_argument("--methods", nargs="+", choices=METHODS)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("program", help="compile and run a whole program")
+    _add_common(p, kernels=False)
+    p.add_argument("--method", choices=METHODS, default="ursa")
+    p.add_argument("--mem", action="append", help="base[+off]=value")
+    p.set_defaults(func=cmd_program)
+
+    p = sub.add_parser("pipeline", help="software-pipelining unroll sweep")
+    p.add_argument("loop", choices=sorted(LOOPS))
+    p.add_argument("--fus", type=int, default=4)
+    p.add_argument("--regs", type=int, default=8)
+    p.add_argument("--classed", action="store_true")
+    p.add_argument("--method", choices=METHODS, default="ursa")
+    p.add_argument("--factors", default="1,2,4,8")
+    p.set_defaults(func=cmd_pipeline)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # `--kernel` only exists on some subcommands.
+    if not hasattr(args, "kernel"):
+        args.kernel = None
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

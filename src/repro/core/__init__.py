@@ -1,0 +1,59 @@
+"""URSA core: measurement, transformations, allocation, assignment."""
+
+from repro.core.allocator import (
+    AllocationError,
+    AllocationResult,
+    Policy,
+    TransformationRecord,
+    URSAAllocator,
+    allocate,
+)
+from repro.core.assignment import AssignmentResult, assign
+from repro.core.codegen import CodegenError, lower_schedule
+from repro.core.kill import KillAssignment, candidate_killers, select_kill
+from repro.core.measure import (
+    ExcessiveChainSet,
+    ResourceKind,
+    ResourceRequirement,
+    find_excessive_sets,
+    measure_all,
+    measure_fu,
+    measure_registers,
+    trim_excessive_chains,
+)
+from repro.core.reuse import (
+    ValueInfo,
+    can_reuse_fu,
+    can_reuse_registers,
+    collect_values,
+    fu_elements,
+)
+
+__all__ = [
+    "AllocationError",
+    "AllocationResult",
+    "AssignmentResult",
+    "CodegenError",
+    "ExcessiveChainSet",
+    "KillAssignment",
+    "Policy",
+    "ResourceKind",
+    "ResourceRequirement",
+    "TransformationRecord",
+    "URSAAllocator",
+    "ValueInfo",
+    "allocate",
+    "assign",
+    "can_reuse_fu",
+    "can_reuse_registers",
+    "candidate_killers",
+    "collect_values",
+    "find_excessive_sets",
+    "fu_elements",
+    "lower_schedule",
+    "measure_all",
+    "measure_fu",
+    "measure_registers",
+    "select_kill",
+    "trim_excessive_chains",
+]

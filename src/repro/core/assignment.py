@@ -1,0 +1,153 @@
+"""URSA's assignment phase (paper §2, final step of Figure 1).
+
+After allocation has transformed the DAG so that no schedule can exceed
+the machine's resources, assignment binds concrete functional units and
+registers.  The paper does not prescribe how; two backends are offered:
+
+* ``"bind"`` (default) — the shared list scheduler binds registers at
+  issue, with the emergency spiller backstopping "any excessive
+  requirements that were not identified by URSA's heuristics" (§2);
+* ``"color"`` — schedule for functional units only, then color the
+  schedule's live intervals with the register file (the cleanest
+  realization of "allocation already guaranteed any schedule fits"),
+  falling back to ``"bind"`` on the rare Kill()-leakage overflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocator import AllocationResult
+from repro.graph.dag import DependenceDAG
+from repro.machine.model import MachineModel
+from repro.machine.vliw import RegRef
+from repro.scheduling.list_scheduler import ListScheduler, Schedule
+
+
+class AssignmentOverflow(Exception):
+    """The coloring backend could not fit the register file."""
+
+
+@dataclass
+class AssignmentResult:
+    """The bound schedule plus provenance from the allocation phase."""
+
+    schedule: Schedule
+    allocation: Optional[AllocationResult]
+    backend: str = "bind"
+
+    @property
+    def emergency_spills(self) -> int:
+        """Spills inserted by assignment (should usually be zero)."""
+        return self.schedule.spill_count
+
+
+def assign(
+    dag: DependenceDAG,
+    machine: MachineModel,
+    allocation: Optional[AllocationResult] = None,
+    backend: str = "bind",
+) -> AssignmentResult:
+    """Bind registers and functional units for an allocated DAG."""
+    if backend == "color":
+        try:
+            schedule = color_assign(dag, machine)
+            return AssignmentResult(schedule, allocation, backend="color")
+        except AssignmentOverflow:
+            backend = "bind"  # Kill() leakage: fall back to the binder
+    if backend != "bind":
+        raise ValueError(f"unknown assignment backend {backend!r}")
+    schedule = ListScheduler(
+        dag, machine, respect_registers=True, allow_spill=True
+    ).run()
+    return AssignmentResult(schedule, allocation, backend="bind")
+
+
+# ======================================================================
+# The coloring backend.
+# ======================================================================
+def _schedule_intervals(
+    dag: DependenceDAG,
+    machine: MachineModel,
+    schedule: Schedule,
+) -> Dict[str, Tuple[int, int]]:
+    """Register occupancy interval (start, end] per value, in cycles.
+
+    A register holds a value from its defining op's issue until the
+    issue of the last use (read-at-issue lets an interval that ends at
+    cycle t share its register with one that starts at t); dead values
+    still hold their register until writeback lands.
+    """
+    issue: Dict[int, int] = {
+        op.uid: op.cycle for op in schedule.ops if op.uid is not None
+    }
+    intervals: Dict[str, Tuple[int, int]] = {}
+    for name, def_uid in dag.value_defs.items():
+        if def_uid == dag.entry:
+            start = -1
+        else:
+            start = issue[def_uid]
+        uses = [
+            issue[u]
+            for u in dag.value_uses.get(name, ())
+            if u in issue
+        ]
+        if dag.exit in dag.value_uses.get(name, ()):
+            end = schedule.length
+        elif uses:
+            end = max(uses)
+        else:
+            # Dead definition: occupied until its writeback completes.
+            latency = machine.latency_of(dag.instruction(def_uid))
+            end = start + max(1, latency) - 1
+        intervals[name] = (start, end)
+    return intervals
+
+
+def color_assign(dag: DependenceDAG, machine: MachineModel) -> Schedule:
+    """Schedule for FUs only, then color the realized live intervals.
+
+    Raises :class:`AssignmentOverflow` when some register class cannot
+    be colored (possible when the heuristic measurement leaked).
+    """
+    schedule = ListScheduler(dag, machine, respect_registers=False).run()
+    intervals = _schedule_intervals(dag, machine, schedule)
+
+    by_class: Dict[str, List[str]] = {}
+    for name in intervals:
+        by_class.setdefault(machine.reg_class_of(name), []).append(name)
+
+    assignment: Dict[str, RegRef] = {}
+    for cls, names in by_class.items():
+        count = machine.registers.get(cls)
+        if count is None:
+            raise AssignmentOverflow(f"no register class {cls!r}")
+        # Interval-graph coloring: process by start cycle, reuse the
+        # register whose previous interval ended earliest (<= start).
+        names.sort(key=lambda n: intervals[n])
+        free_at = [(-(1 << 30), index) for index in range(count)]
+        import heapq
+
+        heapq.heapify(free_at)
+        for name in names:
+            start, end = intervals[name]
+            earliest_end, index = heapq.heappop(free_at)
+            if earliest_end > start:
+                raise AssignmentOverflow(
+                    f"class {cls!r} needs more than {count} registers "
+                    f"at cycle {start}"
+                )
+            assignment[name] = RegRef(index, cls)
+            heapq.heappush(free_at, (end, index))
+
+    schedule.reg_assignment = assignment
+    schedule.live_in_regs = {
+        name: assignment[name]
+        for name, def_uid in dag.value_defs.items()
+        if def_uid == dag.entry
+    }
+    schedule.live_out_regs = {
+        name: assignment[name] for name in dag.live_out
+    }
+    return schedule

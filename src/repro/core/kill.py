@@ -1,0 +1,176 @@
+"""Selecting the ``Kill()`` function for register measurement (§3.2).
+
+For each value, ``Kill`` names the use assumed to execute last — the one
+that frees the register.  The measurement wants the *worst case* over
+schedules, i.e. the choice that maximizes how many dependents can be
+live simultaneously with their ancestors.  The paper (Theorem 2) shows
+the optimal choice reduces to Minimum Cover and is NP-complete, and
+prescribes finding a minimum-sized set of descendants that kill all of
+their ancestors.
+
+We implement that with an exact branch-and-bound for small instances and
+the classical greedy set-cover heuristic beyond that, plus the two easy
+cases: a value with no uses is killed by its own definition, and a value
+whose maximal uses are unique has a forced killer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.reuse import ValueInfo
+from repro.graph.dag import DependenceDAG
+
+#: Instances with at most this many candidate killers are solved exactly.
+EXACT_COVER_LIMIT = 14
+
+
+@dataclass
+class KillAssignment:
+    """The chosen killer node per value, plus provenance for reporting."""
+
+    kill: Dict[str, int]
+    #: values whose killer required the minimum-cover computation.
+    contested: FrozenSet[str] = frozenset()
+    exact: bool = True
+
+    def __getitem__(self, name: str) -> int:
+        return self.kill[name]
+
+    def keys(self):
+        return self.kill.keys()
+
+    def items(self):
+        return self.kill.items()
+
+
+def candidate_killers(dag: DependenceDAG, value: ValueInfo) -> List[int]:
+    """Uses of ``value`` that can execute last in some schedule.
+
+    A use that reaches another use of the same value always executes
+    before it, so only *maximal* uses qualify.
+    """
+    uses = list(value.use_uids)
+    maximal = [
+        u
+        for u in uses
+        if not any(other != u and dag.reaches(u, other) for other in uses)
+    ]
+    return sorted(maximal)
+
+
+def select_kill(
+    dag: DependenceDAG,
+    values: Sequence[ValueInfo],
+    exact_limit: int = EXACT_COVER_LIMIT,
+) -> KillAssignment:
+    """Choose ``Kill`` for every value, per the paper's minimum-cover rule.
+
+    Values with zero or one candidate killer are resolved directly.  The
+    remaining (``contested``) values form a set-cover instance: pick the
+    minimum number of killer nodes such that every contested value has
+    one of its candidates picked; sharing killers maximizes how many
+    sibling dependents stay live together (as in the paper's {B, C, E, F}
+    example, where choosing F to kill both B and C leaves E live with
+    them).
+    """
+    kill: Dict[str, int] = {}
+    contested: Dict[str, List[int]] = {}
+
+    for value in values:
+        if value.is_dead:
+            kill[value.name] = value.def_uid
+            continue
+        candidates = candidate_killers(dag, value)
+        if len(candidates) == 1:
+            kill[value.name] = candidates[0]
+        else:
+            contested[value.name] = candidates
+
+    if not contested:
+        return KillAssignment(kill, frozenset(), exact=True)
+
+    universe = sorted(contested)
+    candidate_nodes = sorted({c for cands in contested.values() for c in cands})
+    covers: Dict[int, FrozenSet[str]] = {
+        node: frozenset(
+            name for name in universe if node in contested[name]
+        )
+        for node in candidate_nodes
+    }
+
+    if len(candidate_nodes) <= exact_limit:
+        chosen = _exact_min_cover(universe, candidate_nodes, covers)
+        exact = True
+    else:
+        chosen = _greedy_min_cover(universe, candidate_nodes, covers)
+        exact = False
+
+    chosen_set = set(chosen)
+    depth = dag.asap()
+    for name in universe:
+        picks = [c for c in contested[name] if c in chosen_set]
+        # Prefer the deepest chosen killer: it extends the live range the
+        # furthest, which is the worst case the measurement looks for.
+        picks.sort(key=lambda uid: (depth.get(uid, 0), uid))
+        kill[name] = picks[-1]
+
+    return KillAssignment(kill, frozenset(universe), exact)
+
+
+def _greedy_min_cover(
+    universe: List[str],
+    nodes: List[int],
+    covers: Mapping[int, FrozenSet[str]],
+) -> List[int]:
+    """Classical ln(n)-approximate greedy set cover."""
+    uncovered: Set[str] = set(universe)
+    chosen: List[int] = []
+    while uncovered:
+        best = max(nodes, key=lambda n: (len(covers[n] & uncovered), -n))
+        gain = covers[best] & uncovered
+        if not gain:  # pragma: no cover - every value has >= 1 candidate
+            raise AssertionError("uncoverable value in kill selection")
+        chosen.append(best)
+        uncovered -= gain
+    return chosen
+
+
+def _exact_min_cover(
+    universe: List[str],
+    nodes: List[int],
+    covers: Mapping[int, FrozenSet[str]],
+) -> List[int]:
+    """Exact minimum cover by branch-and-bound on the candidate nodes."""
+    best_solution = _greedy_min_cover(universe, nodes, covers)
+    best_size = len(best_solution)
+    universe_set = frozenset(universe)
+
+    # Order nodes by descending coverage for effective pruning.
+    ordered = sorted(nodes, key=lambda n: -len(covers[n]))
+    max_cover = max((len(covers[n]) for n in ordered), default=1)
+
+    def search(index: int, chosen: List[int], covered: FrozenSet[str]) -> None:
+        nonlocal best_solution, best_size
+        if covered == universe_set:
+            if len(chosen) < best_size:
+                best_size = len(chosen)
+                best_solution = list(chosen)
+            return
+        if index >= len(ordered) or len(chosen) >= best_size - 1:
+            return
+        remaining = len(universe_set - covered)
+        # Lower bound: even perfect covers need ceil(remaining / max) picks.
+        if len(chosen) + (remaining + max_cover - 1) // max_cover >= best_size:
+            return
+        node = ordered[index]
+        gain = covers[node] - covered
+        if gain:
+            chosen.append(node)
+            search(index + 1, chosen, covered | gain)
+            chosen.pop()
+        search(index + 1, chosen, covered)
+
+    search(0, [], frozenset())
+    return best_solution

@@ -1,0 +1,162 @@
+"""Reuse relations: ``CanReuse_FU`` and ``CanReuse_Reg`` (paper §3).
+
+Both resources are measured through the same machinery — a strict
+partial order whose width (by Dilworth/Theorem 1) is the worst-case
+requirement over *all* legal schedules — but the relation differs:
+
+* A functional unit is busy only while its instruction executes, and the
+  machine is non-pipelined, so ``(a, b) ∈ CanReuse_FU`` iff ``b`` is a
+  descendant of ``a`` in the program DAG (§3.2).
+* A register holds a value from its definition until the *killing* use
+  executes, so ``(a, b) ∈ CanReuse_Reg`` iff ``b``'s definition is
+  ``Kill(a)`` or one of its descendants (Definition 3).  Choosing
+  ``Kill`` to reflect the worst case is NP-complete (Theorem 2) and is
+  handled by :mod:`repro.core.kill`.
+
+Register elements are *values* rather than nodes: this generalizes the
+paper's one-value-per-node model to traces with live-in values (defined
+by the virtual ENTRY node) without changing the mathematics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.graph.dag import DependenceDAG
+from repro.graph.dilworth import PartialOrder
+from repro.ir.opcodes import Opcode
+from repro.machine.model import MachineModel
+
+
+@dataclass(frozen=True)
+class ValueInfo:
+    """A register-resident value: its definition and its uses."""
+
+    name: str
+    def_uid: int
+    use_uids: Tuple[int, ...]
+    reg_class: str = "gpr"
+
+    @property
+    def is_dead(self) -> bool:
+        return not self.use_uids
+
+
+def collect_values(
+    dag: DependenceDAG,
+    machine: Optional[MachineModel] = None,
+) -> List[ValueInfo]:
+    """Enumerate every value in the DAG with its definition and uses.
+
+    Values are classified into register classes via the machine model
+    (default: everything in ``"gpr"``).
+    """
+    classify = machine.reg_class_of if machine is not None else (lambda name: "gpr")
+    values: List[ValueInfo] = []
+    for name, def_uid in sorted(dag.value_defs.items()):
+        uses = tuple(sorted(set(dag.value_uses.get(name, ())) - {def_uid}))
+        values.append(ValueInfo(name, def_uid, uses, classify(name)))
+    return values
+
+
+def fu_elements(dag: DependenceDAG, machine: MachineModel, fu_class: str) -> List[int]:
+    """Op nodes that execute on ``fu_class`` under ``machine``."""
+    result = []
+    for uid in dag.op_nodes():
+        inst = dag.instruction(uid)
+        if machine.fu_class_for(inst.op).name == fu_class:
+            result.append(uid)
+    return result
+
+
+def can_reuse_fu(dag: DependenceDAG, elements: List[int]) -> PartialOrder:
+    """``CanReuse_FU`` restricted to ``elements``: DAG reachability.
+
+    Reachability may pass through nodes outside ``elements`` (a multiply
+    can reuse a unit freed by an op reached through ALU work).
+    """
+    element_set = set(elements)
+    pairs = []
+    for a in elements:
+        for b in sorted(dag.descendants(a)):
+            if b in element_set:
+                pairs.append((a, b))
+    return PartialOrder.from_pairs(elements, pairs)
+
+
+def can_reuse_registers_sound(
+    dag: DependenceDAG,
+    values: List[ValueInfo],
+) -> PartialOrder:
+    """The provably-sound variant of ``CanReuse_Reg``.
+
+    ``(u, w)`` is included only when ``w``'s definition follows *every*
+    maximal use of ``u`` — then ``u`` is dead before ``w`` exists in
+    every legal schedule, so the width of this order upper-bounds the
+    realized register pressure of any schedule.  The paper's ``Kill()``
+    relation (one chosen killer per value) is tighter but heuristic: its
+    width can fall below the true worst case (Theorem 2), which is the
+    leakage the assignment phase must absorb.
+    """
+    names = [v.name for v in values]
+    def_of = {v.name: v.def_uid for v in values}
+    use_map = {v.name: v.use_uids for v in values}
+    pairs: List[Tuple[str, str]] = []
+    for u in values:
+        uses = list(u.use_uids)
+        maximal = [
+            m
+            for m in uses
+            if not any(other != m and dag.reaches(m, other) for other in uses)
+        ]
+        if not maximal:
+            # Dead value: free as soon as it is written.
+            reachable = dag.descendants(u.def_uid)
+            for w in values:
+                if w.name != u.name and def_of[w.name] in reachable:
+                    pairs.append((u.name, w.name))
+            continue
+        if dag.exit in maximal:
+            continue  # live-out: never reusable
+        for w in values:
+            if w.name == u.name:
+                continue
+            dw = def_of[w.name]
+            if all(m == dw or dag.reaches(m, dw) for m in maximal):
+                pairs.append((u.name, w.name))
+    return PartialOrder.from_pairs(names, pairs)
+
+
+def can_reuse_registers(
+    dag: DependenceDAG,
+    values: List[ValueInfo],
+    kill: Mapping[str, int],
+) -> PartialOrder:
+    """``CanReuse_Reg`` over value names, given a ``Kill`` assignment.
+
+    ``(u, w)`` is in the relation iff ``w``'s defining node is ``Kill(u)``
+    or a descendant of it: in no legal schedule can ``w`` be computed
+    while ``u``'s register is still needed.
+    """
+    names = [v.name for v in values]
+    def_of = {v.name: v.def_uid for v in values}
+    pairs: List[Tuple[str, str]] = []
+    for u in values:
+        killer = kill[u.name]
+        if killer == u.def_uid:
+            # Dead value: its register is free the moment it is written;
+            # any proper descendant of the definition can reuse it.
+            reachable = dag.descendants(u.def_uid)
+            for w in values:
+                if w.name != u.name and def_of[w.name] in reachable:
+                    pairs.append((u.name, w.name))
+            continue
+        reachable = dag.descendants(killer)
+        for w in values:
+            if w.name == u.name:
+                continue
+            dw = def_of[w.name]
+            if dw == killer or dw in reachable:
+                pairs.append((u.name, w.name))
+    return PartialOrder.from_pairs(names, pairs)

@@ -1,0 +1,21 @@
+"""URSA's requirement-reduction transformations (paper §4)."""
+
+from repro.core.transforms.base import TransformCandidate, TransformError
+from repro.core.transforms.fu_seq import propose_fu_sequencing
+from repro.core.transforms.reg_seq import propose_register_sequencing
+from repro.core.transforms.remat import (
+    is_rematerializable,
+    propose_rematerializations,
+)
+from repro.core.transforms.spill import propose_spills, spill_slot_for
+
+__all__ = [
+    "TransformCandidate",
+    "TransformError",
+    "propose_fu_sequencing",
+    "is_rematerializable",
+    "propose_register_sequencing",
+    "propose_rematerializations",
+    "propose_spills",
+    "spill_slot_for",
+]

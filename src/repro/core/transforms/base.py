@@ -1,0 +1,63 @@
+"""Common machinery for URSA's requirement-reduction transformations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.graph.dag import CycleError, DependenceDAG
+
+
+class TransformError(Exception):
+    """A transformation candidate turned out to be inapplicable."""
+
+
+@dataclass
+class TransformCandidate:
+    """One tentative application of a transformation (paper §5).
+
+    Candidates are evaluated by applying their edits to a *copy* of the
+    DAG and re-measuring; the driver commits the best copy.  ``apply``
+    raises :class:`TransformError` when the edits turn out to be illegal
+    (e.g. a sequence edge would close a cycle).
+    """
+
+    kind: str
+    description: str
+    base_dag: DependenceDAG
+    edits: Callable[[DependenceDAG], None]
+    spills_added: int = 0
+    #: lower is preferred on ties (the paper prefers sequencing over
+    #: spilling when the critical-path impact is equal).
+    preference: int = 0
+
+    def apply(self) -> DependenceDAG:
+        clone = self.base_dag.copy()
+        try:
+            self.edits(clone)
+        except CycleError as exc:
+            raise TransformError(f"{self.kind}: {exc}") from exc
+        return clone
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.description}"
+
+
+def maximal_nodes(dag: DependenceDAG, nodes: List[int]) -> List[int]:
+    """Nodes in ``nodes`` with no descendant also in ``nodes``."""
+    node_set = set(nodes)
+    return sorted(
+        n
+        for n in node_set
+        if not any(m != n and dag.reaches(n, m) for m in node_set)
+    )
+
+
+def minimal_nodes(dag: DependenceDAG, nodes: List[int]) -> List[int]:
+    """Nodes in ``nodes`` with no ancestor also in ``nodes``."""
+    node_set = set(nodes)
+    return sorted(
+        n
+        for n in node_set
+        if not any(m != n and dag.reaches(m, n) for m in node_set)
+    )

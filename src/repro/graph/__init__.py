@@ -1,0 +1,38 @@
+"""Graph substrate: dependence DAGs, hammocks, matching, Dilworth."""
+
+from repro.graph.dag import CycleError, DependenceDAG, EdgeKind
+from repro.graph.dilworth import (
+    ChainDecomposition,
+    PartialOrder,
+    PartialOrderError,
+    closure_from_dag_pairs,
+    maximum_antichain,
+    minimum_chain_decomposition,
+    width,
+)
+from repro.graph.hammock import Hammock, HammockAnalysis
+from repro.graph.matching import (
+    PrioritizedMatcher,
+    hopcroft_karp,
+    maximum_matching,
+    minimum_vertex_cover,
+)
+
+__all__ = [
+    "ChainDecomposition",
+    "CycleError",
+    "DependenceDAG",
+    "EdgeKind",
+    "Hammock",
+    "HammockAnalysis",
+    "PartialOrder",
+    "PartialOrderError",
+    "PrioritizedMatcher",
+    "closure_from_dag_pairs",
+    "hopcroft_karp",
+    "maximum_antichain",
+    "maximum_matching",
+    "minimum_chain_decomposition",
+    "minimum_vertex_cover",
+    "width",
+]

@@ -1,0 +1,605 @@
+"""The dependence DAG: URSA's common program representation.
+
+Nodes are instruction uids; two pseudo nodes, ``ENTRY`` and ``EXIT``,
+give the DAG the single root and single leaf the paper's algorithms
+require (and make the whole DAG a hammock).  Edges are either *data*
+dependences (value flow, labelled with the value name) or *sequence*
+edges: memory ordering, branch pinning, or the sequentialization edges
+URSA's transformations add.
+
+Instructions stored in the DAG are treated as immutable; rewrites (e.g.
+retargeting a use at a reloaded value) replace the stored instruction
+with a modified copy that keeps the same uid.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+import networkx as nx
+
+from repro.ir.instructions import Addr, Instruction, Var
+from repro.ir.opcodes import Opcode
+from repro.ir.rename import is_single_assignment, rename_trace
+
+
+class CycleError(Exception):
+    """Adding an edge would create a cycle (an illegal sequentialization)."""
+
+
+class EdgeKind(enum.Enum):
+    DATA = "data"
+    SEQ = "seq"
+
+
+class DependenceDAG:
+    """A mutable dependence DAG over three-address instructions.
+
+    Use :meth:`from_trace` to build one from straight-line code.  All
+    reachability queries are cached and invalidated on mutation.
+    """
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self._entry_inst = Instruction(Opcode.ENTRY)
+        self._exit_inst = Instruction(Opcode.EXIT)
+        self.entry: int = self._entry_inst.uid
+        self.exit: int = self._exit_inst.uid
+        self.graph.add_node(self.entry, inst=self._entry_inst)
+        self.graph.add_node(self.exit, inst=self._exit_inst)
+        #: value name -> defining node uid (ENTRY for live-in values).
+        self.value_defs: Dict[str, int] = {}
+        #: value name -> uids of instructions that read it (may include EXIT).
+        self.value_uses: Dict[str, List[int]] = {}
+        self.live_out: FrozenSet[str] = frozenset()
+        #: uids in original trace order (set by from_trace; spill nodes
+        #: added later are appended by insert_spill).
+        self.source_order: List[int] = []
+        self._desc_cache: Optional[Dict[int, int]] = None
+        self._mask_index: Optional[Dict[int, int]] = None
+        self._mask_order: Optional[List[int]] = None
+
+    # ==================================================================
+    # Construction.
+    # ==================================================================
+    @classmethod
+    def from_trace(
+        cls,
+        instructions: List[Instruction],
+        side_exit_liveness: Optional[Mapping[int, FrozenSet[str]]] = None,
+        live_out: Optional[Iterable[str]] = None,
+        rename: bool = True,
+    ) -> "DependenceDAG":
+        """Build the dependence DAG of a straight-line trace.
+
+        Args:
+            instructions: the trace; ``BR``/``HALT`` terminators are ignored,
+                ``CBR`` side exits become DAG nodes.
+            side_exit_liveness: per-CBR-uid sets of values live at the
+                branch's off-trace target; their definitions are pinned
+                above the branch.
+            live_out: values still needed after the trace falls through;
+                they are "used" by EXIT.  Defaults to no values (memory is
+                the only live-out channel), which matches store-terminated
+                kernels.
+            rename: rewrite the trace into single-assignment form first.
+        """
+        if rename:
+            result = rename_trace(
+                [i for i in instructions if i.op not in (Opcode.BR, Opcode.HALT)]
+            )
+            body = result.instructions
+        else:
+            body = [i for i in instructions if i.op not in (Opcode.BR, Opcode.HALT)]
+            if not is_single_assignment(body):
+                raise ValueError(
+                    "trace is not single-assignment; pass rename=True"
+                )
+
+        dag = cls()
+        side_exit_liveness = dict(side_exit_liveness or {})
+        live_out_set = frozenset(live_out or ())
+
+        for inst in body:
+            dag.graph.add_node(inst.uid, inst=inst)
+        dag.source_order = [inst.uid for inst in body]
+
+        # Value definitions and data edges.
+        for inst in body:
+            if inst.dest is not None:
+                dag.value_defs[inst.dest] = inst.uid
+        for inst in body:
+            for name in inst.uses():
+                def_uid = dag.value_defs.get(name)
+                if def_uid is None:
+                    # Live-in: ENTRY is the defining node.
+                    dag.value_defs[name] = dag.entry
+                    def_uid = dag.entry
+                if def_uid != inst.uid:
+                    dag._add_edge(def_uid, inst.uid, EdgeKind.DATA, value=name)
+                dag.value_uses.setdefault(name, []).append(inst.uid)
+
+        # Memory ordering (conservative must/may-alias on symbolic cells).
+        memory_ops = [i for i in body if i.is_memory]
+        for i, first in enumerate(memory_ops):
+            for second in memory_ops[i + 1:]:
+                if not first.addr.may_alias(second.addr):
+                    continue
+                if first.is_memory_write or second.is_memory_write:
+                    dag._add_edge(first.uid, second.uid, EdgeKind.SEQ, reason="mem")
+
+        # Branch pinning: branches stay ordered; stores do not cross
+        # branches in either direction; faulting ops (DIV/MOD) are never
+        # hoisted above a branch (speculating them could trap on a path
+        # the source never executes); values live at a side exit are
+        # computed before the branch.
+        branches = [i for i in body if i.op is Opcode.CBR]
+        position = {inst.uid: pos for pos, inst in enumerate(body)}
+        for earlier, later in zip(branches, branches[1:]):
+            dag._add_edge(earlier.uid, later.uid, EdgeKind.SEQ, reason="branch-order")
+        for branch in branches:
+            branch_pos = position[branch.uid]
+            for other in body:
+                other_pos = position[other.uid]
+                if other.is_memory_write:
+                    if other_pos < branch_pos:
+                        dag._add_edge(
+                            other.uid, branch.uid, EdgeKind.SEQ,
+                            reason="store-branch",
+                        )
+                    else:
+                        dag._add_edge(
+                            branch.uid, other.uid, EdgeKind.SEQ,
+                            reason="branch-store",
+                        )
+                elif other.op in (Opcode.DIV, Opcode.MOD) and other_pos > branch_pos:
+                    dag._add_edge(
+                        branch.uid, other.uid, EdgeKind.SEQ,
+                        reason="no-speculation",
+                    )
+            for name in side_exit_liveness.get(branch.uid, frozenset()):
+                def_uid = dag.value_defs.get(name)
+                if def_uid is not None and def_uid != branch.uid:
+                    dag._add_edge(def_uid, branch.uid, EdgeKind.SEQ, reason="exit-live")
+
+        # Live-out values are read by EXIT.
+        dag.live_out = live_out_set
+        for name in live_out_set:
+            def_uid = dag.value_defs.get(name)
+            if def_uid is None:
+                dag.value_defs[name] = dag.entry
+                def_uid = dag.entry
+            dag._add_edge(def_uid, dag.exit, EdgeKind.DATA, value=name)
+            dag.value_uses.setdefault(name, []).append(dag.exit)
+
+        dag._connect_entry_exit()
+        dag._invalidate()
+        return dag
+
+    def _connect_entry_exit(self) -> None:
+        """Give every source an ENTRY predecessor and every sink an EXIT
+        successor (ignoring the pseudo nodes themselves)."""
+        for uid in list(self.graph.nodes):
+            if uid in (self.entry, self.exit):
+                continue
+            preds = [p for p in self.graph.predecessors(uid) if p != self.entry]
+            if not preds and not self.graph.has_edge(self.entry, uid):
+                self._add_edge(self.entry, uid, EdgeKind.SEQ, reason="root")
+            succs = [s for s in self.graph.successors(uid) if s != self.exit]
+            if not succs and not self.graph.has_edge(uid, self.exit):
+                self._add_edge(uid, self.exit, EdgeKind.SEQ, reason="leaf")
+        if self.graph.out_degree(self.entry) == 0:
+            self._add_edge(self.entry, self.exit, EdgeKind.SEQ, reason="root")
+
+    def _add_edge(self, src: int, dst: int, kind: EdgeKind, **attrs) -> None:
+        if src == dst:
+            raise CycleError(f"self edge on {src}")
+        existing = self.graph.get_edge_data(src, dst)
+        if existing is not None:
+            # DATA dominates SEQ; keep the stronger kind.
+            if existing["kind"] is EdgeKind.SEQ and kind is EdgeKind.DATA:
+                self.graph.edges[src, dst].update(kind=kind, **attrs)
+            return
+        self.graph.add_edge(src, dst, kind=kind, **attrs)
+
+    # ==================================================================
+    # Queries.
+    # ==================================================================
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def nodes(self) -> Iterator[int]:
+        return iter(self.graph.nodes)
+
+    def op_nodes(self) -> List[int]:
+        """Real instruction nodes, excluding ENTRY/EXIT, in topo order."""
+        return [
+            uid for uid in self.topological_order()
+            if uid not in (self.entry, self.exit)
+        ]
+
+    def instruction(self, uid: int) -> Instruction:
+        return self.graph.nodes[uid]["inst"]
+
+    def instructions(self) -> List[Instruction]:
+        return [self.instruction(u) for u in self.op_nodes()]
+
+    def edges(self) -> Iterator[Tuple[int, int, dict]]:
+        return self.graph.edges(data=True)  # type: ignore[return-value]
+
+    def data_edges(self) -> List[Tuple[int, int, str]]:
+        return [
+            (u, v, d.get("value", ""))
+            for u, v, d in self.graph.edges(data=True)
+            if d["kind"] is EdgeKind.DATA
+        ]
+
+    def preds(self, uid: int) -> List[int]:
+        return list(self.graph.predecessors(uid))
+
+    def succs(self, uid: int) -> List[int]:
+        return list(self.graph.successors(uid))
+
+    def topological_order(self) -> List[int]:
+        """A deterministic topological order (by uid among ready nodes)."""
+        indegree = {u: self.graph.in_degree(u) for u in self.graph.nodes}
+        ready = sorted(u for u, d in indegree.items() if d == 0)
+        order: List[int] = []
+        import heapq
+
+        heapq.heapify(ready)
+        while ready:
+            u = heapq.heappop(ready)
+            order.append(u)
+            for v in self.graph.successors(u):
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    heapq.heappush(ready, v)
+        if len(order) != self.graph.number_of_nodes():
+            raise CycleError("dependence graph contains a cycle")
+        return order
+
+    # ------------------------------------------------------------------
+    # Reachability (bitmask transitive closure, cached).
+    # ------------------------------------------------------------------
+    def _closure(self) -> Dict[int, int]:
+        if self._desc_cache is None:
+            order = self.topological_order()
+            index = {uid: i for i, uid in enumerate(order)}
+            desc: Dict[int, int] = {uid: 0 for uid in order}
+            for uid in reversed(order):
+                mask = 0
+                for succ in self.graph.successors(uid):
+                    mask |= desc[succ] | (1 << index[succ])
+                desc[uid] = mask
+            self._desc_cache = desc
+            self._mask_index = index
+            self._mask_order = order
+        return self._desc_cache
+
+    def reaches(self, a: int, b: int) -> bool:
+        """True when there is a (non-empty) path from ``a`` to ``b``."""
+        desc = self._closure()
+        return bool(desc[a] >> self._mask_index[b] & 1)
+
+    def descendants(self, uid: int) -> Set[int]:
+        desc = self._closure()
+        mask = desc[uid]
+        order = self._mask_order
+        result = set()
+        while mask:
+            low = mask & -mask
+            result.add(order[low.bit_length() - 1])
+            mask ^= low
+        return result
+
+    def ancestors(self, uid: int) -> Set[int]:
+        desc = self._closure()
+        idx = self._mask_index[uid]
+        return {u for u, mask in desc.items() if mask >> idx & 1}
+
+    def independent(self, a: int, b: int) -> bool:
+        """True when neither node reaches the other (they may run in
+        parallel)."""
+        return a != b and not self.reaches(a, b) and not self.reaches(b, a)
+
+    def _invalidate(self) -> None:
+        self._desc_cache = None
+        self._mask_index = None
+        self._mask_order = None
+
+    # ------------------------------------------------------------------
+    # Timing.
+    # ------------------------------------------------------------------
+    def asap(
+        self, latency: Optional[Callable[[Instruction], int]] = None
+    ) -> Dict[int, int]:
+        """Earliest start cycle per node along longest paths from ENTRY."""
+        lat = latency or (lambda inst: 0 if inst.is_pseudo else 1)
+        start: Dict[int, int] = {}
+        for uid in self.topological_order():
+            best = 0
+            for pred in self.graph.predecessors(uid):
+                best = max(best, start[pred] + lat(self.instruction(pred)))
+            start[uid] = best
+        return start
+
+    def alap(
+        self, latency: Optional[Callable[[Instruction], int]] = None
+    ) -> Dict[int, int]:
+        """Latest start cycle per node that still meets the critical path."""
+        lat = latency or (lambda inst: 0 if inst.is_pseudo else 1)
+        asap = self.asap(latency)
+        horizon = asap[self.exit]
+        late: Dict[int, int] = {}
+        for uid in reversed(self.topological_order()):
+            succs = list(self.graph.successors(uid))
+            own = lat(self.instruction(uid))
+            if not succs:
+                late[uid] = horizon - own
+            else:
+                late[uid] = min(late[s] for s in succs) - own
+        return late
+
+    def critical_path_length(
+        self, latency: Optional[Callable[[Instruction], int]] = None
+    ) -> int:
+        """Length (cycles) of the longest path through the DAG."""
+        return self.asap(latency)[self.exit]
+
+    # ==================================================================
+    # Mutation (URSA transformations).
+    # ==================================================================
+    def add_sequence_edge(self, src: int, dst: int, reason: str = "ursa") -> bool:
+        """Add a sequentialization edge ``src -> dst``.
+
+        Returns False when the edge already exists or is implied
+        (``src`` already reaches ``dst``); raises :class:`CycleError`
+        when it would create a cycle.
+        """
+        if src == dst:
+            raise CycleError("cannot sequence a node after itself")
+        if self.reaches(dst, src):
+            raise CycleError(f"edge {src}->{dst} would create a cycle")
+        if self.graph.has_edge(src, dst):
+            return False
+        if self.reaches(src, dst):
+            self.graph.add_edge(src, dst, kind=EdgeKind.SEQ, reason=reason)
+            self._invalidate()
+            return False
+        self.graph.add_edge(src, dst, kind=EdgeKind.SEQ, reason=reason)
+        self._invalidate()
+        return True
+
+    def would_cycle(self, src: int, dst: int) -> bool:
+        return src == dst or self.reaches(dst, src)
+
+    def replace_instruction(self, uid: int, new_inst: Instruction) -> None:
+        """Swap the instruction stored at ``uid`` (uid must be unchanged)."""
+        if new_inst.uid != uid:
+            raise ValueError("replacement must preserve the uid")
+        self.graph.nodes[uid]["inst"] = new_inst
+
+    def insert_spill(
+        self,
+        value: str,
+        late_uses: Iterable[int],
+        spill_addr: Addr,
+        reload_name: Optional[str] = None,
+    ) -> Tuple[int, int, str]:
+        """Split ``value``'s live range with a spill/reload pair.
+
+        A ``SPILL`` node is added fed by the value's definition; a
+        ``RELOAD`` node defines ``reload_name`` (default ``value+"@r"``);
+        every use in ``late_uses`` is rewritten to read the reloaded
+        value.  The caller is responsible for adding the sequence edges
+        that position the pair (before/after the stage being protected).
+
+        Returns ``(spill_uid, reload_uid, reload_name)``.
+        """
+        def_uid = self.value_defs[value]
+        late = list(late_uses)
+        if reload_name is None:
+            new_name = f"{value}@r"
+            suffix = 0
+            while new_name in self.value_defs:
+                suffix += 1
+                new_name = f"{value}@r{suffix}"
+        else:
+            new_name = reload_name
+        if new_name in self.value_defs:
+            raise ValueError(f"reload name {new_name!r} already defined")
+
+        spill_inst = Instruction(Opcode.SPILL, srcs=(Var(value),), addr=spill_addr)
+        reload_inst = Instruction(Opcode.RELOAD, dest=new_name, addr=spill_addr)
+        self.graph.add_node(spill_inst.uid, inst=spill_inst)
+        self.graph.add_node(reload_inst.uid, inst=reload_inst)
+
+        self.graph.add_edge(def_uid, spill_inst.uid, kind=EdgeKind.DATA, value=value)
+        # True memory dependence spill -> reload (same cell).
+        self.graph.add_edge(
+            spill_inst.uid, reload_inst.uid, kind=EdgeKind.SEQ, reason="spill-mem"
+        )
+        self.value_uses.setdefault(value, []).append(spill_inst.uid)
+        self.value_defs[new_name] = reload_inst.uid
+
+        for use_uid in late:
+            if use_uid == self.exit:
+                # Live-out read: retarget the EXIT data edge.
+                if self.graph.has_edge(def_uid, self.exit):
+                    self.graph.remove_edge(def_uid, self.exit)
+                self.graph.add_edge(
+                    reload_inst.uid, self.exit, kind=EdgeKind.DATA, value=new_name
+                )
+            else:
+                old = self.instruction(use_uid)
+                rewritten = old.with_renamed_uses({value: new_name})
+                self.replace_instruction(use_uid, rewritten)
+                if self.graph.has_edge(def_uid, use_uid):
+                    data = self.graph.get_edge_data(def_uid, use_uid)
+                    if data["kind"] is EdgeKind.DATA and data.get("value") == value:
+                        self.graph.remove_edge(def_uid, use_uid)
+                self.graph.add_edge(
+                    reload_inst.uid, use_uid, kind=EdgeKind.DATA, value=new_name
+                )
+            self.value_uses[value] = [
+                u for u in self.value_uses.get(value, []) if u != use_uid
+            ]
+            self.value_uses.setdefault(new_name, []).append(use_uid)
+
+        if value in self.live_out and self.exit in late:
+            self.live_out = (self.live_out - {value}) | {new_name}
+
+        self.source_order.extend((spill_inst.uid, reload_inst.uid))
+        self._connect_entry_exit()
+        self._invalidate()
+        return spill_inst.uid, reload_inst.uid, new_name
+
+    def insert_remat(
+        self,
+        value: str,
+        late_uses: Iterable[int],
+        remat_name: Optional[str] = None,
+    ) -> Tuple[int, str]:
+        """Split ``value``'s live range by *recomputing* it.
+
+        A clone of the defining instruction is added under a fresh name
+        and every use in ``late_uses`` is retargeted at the clone — the
+        register-pressure effect of a spill/reload pair without the
+        memory traffic.  The caller is responsible for (a) only cloning
+        instructions that are safe to re-execute at any later point
+        (constants always; loads only when no store may alias them) and
+        (b) adding the sequence edges that delay the clone.
+
+        Returns ``(remat_uid, remat_name)``.
+        """
+        def_uid = self.value_defs[value]
+        original = self.instruction(def_uid)
+        if original.dest != value:
+            raise ValueError(f"{value!r} is not defined by node {def_uid}")
+
+        if remat_name is None:
+            remat_name = f"{value}@m"
+            suffix = 0
+            while remat_name in self.value_defs:
+                suffix += 1
+                remat_name = f"{value}@m{suffix}"
+
+        clone = replace(original, dest=remat_name).fresh_copy()
+        self.graph.add_node(clone.uid, inst=clone)
+        self.value_defs[remat_name] = clone.uid
+        for name in set(clone.uses()):
+            src_uid = self.value_defs[name]
+            if src_uid != clone.uid:
+                self._add_edge(src_uid, clone.uid, EdgeKind.DATA, value=name)
+            self.value_uses.setdefault(name, []).append(clone.uid)
+        # Re-executing a load must still follow any may-aliasing writes.
+        if clone.is_memory_read:
+            for uid in self.op_nodes():
+                other = self.instruction(uid)
+                if (
+                    other.is_memory_write
+                    and other.addr is not None
+                    and other.addr.may_alias(clone.addr)
+                    and not self.reaches(clone.uid, uid)
+                ):
+                    self._add_edge(uid, clone.uid, EdgeKind.SEQ, reason="mem")
+
+        for use_uid in list(late_uses):
+            if use_uid == self.exit:
+                if self.graph.has_edge(def_uid, self.exit):
+                    self.graph.remove_edge(def_uid, self.exit)
+                self.graph.add_edge(
+                    clone.uid, self.exit, kind=EdgeKind.DATA, value=remat_name
+                )
+            else:
+                old = self.instruction(use_uid)
+                rewritten = old.with_renamed_uses({value: remat_name})
+                self.replace_instruction(use_uid, rewritten)
+                if self.graph.has_edge(def_uid, use_uid):
+                    data = self.graph.get_edge_data(def_uid, use_uid)
+                    if data["kind"] is EdgeKind.DATA and data.get("value") == value:
+                        self.graph.remove_edge(def_uid, use_uid)
+                self.graph.add_edge(
+                    clone.uid, use_uid, kind=EdgeKind.DATA, value=remat_name
+                )
+            self.value_uses[value] = [
+                u for u in self.value_uses.get(value, []) if u != use_uid
+            ]
+            self.value_uses.setdefault(remat_name, []).append(use_uid)
+
+        if value in self.live_out and self.exit in list(late_uses):
+            self.live_out = (self.live_out - {value}) | {remat_name}
+
+        self.source_order.append(clone.uid)
+        self._connect_entry_exit()
+        self._invalidate()
+        return clone.uid, remat_name
+
+    # ==================================================================
+    # Copying and verification.
+    # ==================================================================
+    def copy(self) -> "DependenceDAG":
+        """A structural copy sharing (immutable) Instruction objects."""
+        clone = DependenceDAG.__new__(DependenceDAG)
+        clone.graph = self.graph.copy()
+        clone._entry_inst = self._entry_inst
+        clone._exit_inst = self._exit_inst
+        clone.entry = self.entry
+        clone.exit = self.exit
+        clone.value_defs = dict(self.value_defs)
+        clone.value_uses = {k: list(v) for k, v in self.value_uses.items()}
+        clone.live_out = self.live_out
+        clone.source_order = list(self.source_order)
+        clone._desc_cache = None
+        clone._mask_index = None
+        clone._mask_order = None
+        return clone
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when internal structure is inconsistent."""
+        self.topological_order()  # raises on cycles
+        for uid in self.graph.nodes:
+            inst = self.instruction(uid)
+            assert inst.uid == uid, f"uid mismatch at {uid}"
+        for u, v, data in self.graph.edges(data=True):
+            if data["kind"] is EdgeKind.DATA and v != self.exit:
+                value = data["value"]
+                inst = self.instruction(v)
+                assert value in set(inst.uses()), (
+                    f"data edge {u}->{v} for {value!r} not used by {inst}"
+                )
+        for name, def_uid in self.value_defs.items():
+            if def_uid in (self.entry,):
+                continue
+            inst = self.instruction(def_uid)
+            assert inst.dest == name, f"value_defs[{name!r}] mismatch: {inst}"
+
+    def linearize(self) -> List[Instruction]:
+        """Any topological order of the real instructions (a legal
+        sequential schedule of the transformed trace)."""
+        return [self.instruction(u) for u in self.op_nodes()]
+
+    def __str__(self) -> str:
+        lines = [f"DAG with {len(self.op_nodes())} ops"]
+        for uid in self.op_nodes():
+            succs = ", ".join(
+                f"{s}{'*' if self.graph.edges[uid, s]['kind'] is EdgeKind.SEQ else ''}"
+                for s in self.graph.successors(uid)
+                if s != self.exit
+            )
+            lines.append(f"  [{uid}] {self.instruction(uid)} -> {succs}")
+        return "\n".join(lines)

@@ -1,0 +1,294 @@
+"""Partial orders, Dilworth chain decompositions, and maximum antichains.
+
+Theorem 1 of the paper (Dilworth [Dil50]): the maximum number of mutually
+independent elements of a partial order equals the number of chains in a
+minimum chain decomposition.  URSA measures worst-case resource
+requirements by decomposing the *reuse* partial order of each resource
+into a minimum set of allocation chains via bipartite matching [FoF65].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.graph.matching import (
+    PrioritizedMatcher,
+    hopcroft_karp,
+    maximum_matching,
+    minimum_vertex_cover,
+)
+
+Element = Hashable
+
+
+class PartialOrderError(Exception):
+    """Raised when a relation is not a valid strict partial order."""
+
+
+@dataclass
+class PartialOrder:
+    """A strict partial order: ``pairs`` holds every related pair (a, b)
+    with a < b (the relation must already be transitively closed).
+
+    For URSA, ``(a, b)`` means "b can reuse a's resource instance".
+    """
+
+    elements: List[Element]
+    #: a -> set of b with (a, b) in the relation.
+    above: Dict[Element, FrozenSet[Element]]
+
+    @classmethod
+    def from_pairs(
+        cls, elements: Iterable[Element], pairs: Iterable[Tuple[Element, Element]]
+    ) -> "PartialOrder":
+        element_list = list(elements)
+        element_set = set(element_list)
+        above: Dict[Element, Set[Element]] = {e: set() for e in element_list}
+        for a, b in pairs:
+            if a not in element_set or b not in element_set:
+                raise PartialOrderError(f"pair ({a!r}, {b!r}) uses unknown element")
+            if a == b:
+                raise PartialOrderError(f"reflexive pair on {a!r}")
+            above[a].add(b)
+        return cls(element_list, {e: frozenset(s) for e, s in above.items()})
+
+    # ------------------------------------------------------------------
+    def less(self, a: Element, b: Element) -> bool:
+        return b in self.above[a]
+
+    def independent(self, a: Element, b: Element) -> bool:
+        return a != b and not self.less(a, b) and not self.less(b, a)
+
+    def pairs(self) -> List[Tuple[Element, Element]]:
+        """All related pairs, in a deterministic order.
+
+        ``above`` values are sets; iterating them raw leaks the hash
+        order of the elements (for int uids: their absolute values) into
+        the matching and hence into the chain decomposition, making
+        logically identical runs diverge.  Sorting keeps the enumeration
+        invariant under uniform uid shifts.
+        """
+        index = {e: i for i, e in enumerate(self.elements)}
+        return [
+            (a, b)
+            for a in self.elements
+            for b in sorted(self.above[a], key=index.__getitem__)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check irreflexivity, antisymmetry, and transitivity."""
+        for a, bs in self.above.items():
+            if a in bs:
+                raise PartialOrderError(f"reflexive: {a!r}")
+            for b in bs:
+                if a in self.above[b]:
+                    raise PartialOrderError(f"symmetric pair {a!r}, {b!r}")
+                missing = self.above[b] - bs
+                if missing:
+                    raise PartialOrderError(
+                        f"not transitive: {a!r} < {b!r} < {sorted(map(repr, missing))[0]}"
+                    )
+
+    def is_chain(self, members: Sequence[Element]) -> bool:
+        """True when every pair of members is related (Definition 1)."""
+        members = list(members)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                if self.independent(a, b):
+                    return False
+        return True
+
+    def sort_chain(self, members: Iterable[Element]) -> List[Element]:
+        """Return chain members in increasing order."""
+        members = list(members)
+        return sorted(
+            members, key=lambda e: sum(1 for other in members if self.less(other, e))
+        )
+
+
+@dataclass
+class ChainDecomposition:
+    """A partition of a partial order into chains (Definition 2).
+
+    Produced by :func:`minimum_chain_decomposition`; ``chains`` are each
+    sorted in increasing order.  The decomposition is minimal, so
+    ``len(chains)`` is the worst-case resource requirement (Theorem 1).
+    """
+
+    order: PartialOrder
+    chains: List[List[Element]]
+    #: the matching that produced the decomposition (element -> successor).
+    successor: Dict[Element, Element] = field(default_factory=dict)
+
+    @property
+    def width(self) -> int:
+        return len(self.chains)
+
+    def chain_of(self, element: Element) -> int:
+        """Index of the chain containing ``element``."""
+        for index, chain in enumerate(self.chains):
+            if element in chain:
+                return index
+        raise KeyError(element)
+
+    def chain_index(self) -> Dict[Element, int]:
+        return {
+            element: index
+            for index, chain in enumerate(self.chains)
+            for element in chain
+        }
+
+    def validate(self) -> None:
+        """Chains must partition the elements and each be a chain."""
+        seen: Set[Element] = set()
+        for chain in self.chains:
+            if not chain:
+                raise PartialOrderError("empty chain in decomposition")
+            if not self.order.is_chain(chain):
+                raise PartialOrderError(f"not a chain: {chain!r}")
+            overlap = seen & set(chain)
+            if overlap:
+                raise PartialOrderError(f"elements in two chains: {overlap!r}")
+            seen.update(chain)
+        if seen != set(self.order.elements):
+            raise PartialOrderError("decomposition does not cover all elements")
+
+
+def minimum_chain_decomposition(
+    order: PartialOrder,
+    priority: Optional[Callable[[Element, Element], int]] = None,
+) -> ChainDecomposition:
+    """Minimum chain decomposition via maximum bipartite matching [FoF65].
+
+    The bipartite graph has one left and one right copy of every element
+    and an edge for every related pair; a maximum matching of size ``m``
+    yields ``n - m`` chains by following matched successor links.
+
+    ``priority(a, b)`` (smaller = earlier batch) enables the paper's
+    hammock-aware insertion order, which makes the decomposition minimal
+    for nested hammocks as well as the whole DAG.
+    """
+    pairs = order.pairs()
+    if priority is None:
+        match = maximum_matching(pairs)
+    else:
+        matcher = PrioritizedMatcher()
+        batches: Dict[int, List[Tuple[Element, Element]]] = {}
+        for a, b in pairs:
+            batches.setdefault(priority(a, b), []).append((a, b))
+        for key in sorted(batches):
+            matcher.add_edges(batches[key])
+        match = dict(matcher.match_left)
+
+    has_predecessor: Set[Element] = set(match.values())
+    chains: List[List[Element]] = []
+    for element in order.elements:
+        if element in has_predecessor:
+            continue
+        chain = [element]
+        while chain[-1] in match:
+            chain.append(match[chain[-1]])
+        chains.append(chain)
+    return ChainDecomposition(order, chains, successor=dict(match))
+
+
+def maximum_antichain(order: PartialOrder) -> Set[Element]:
+    """An antichain of maximum size, via König's theorem.
+
+    By Dilworth, its size equals the width returned by
+    :func:`minimum_chain_decomposition`.
+    """
+    pairs = order.pairs()
+    matching = hopcroft_karp(order.elements, pairs)
+    cover_left, cover_right = minimum_vertex_cover(
+        order.elements, order.elements, pairs, matching
+    )
+    return {
+        element
+        for element in order.elements
+        if element not in cover_left and element not in cover_right
+    }
+
+
+def width(order: PartialOrder) -> int:
+    """The width (maximum antichain size) of the partial order."""
+    matching = hopcroft_karp(order.elements, order.pairs())
+    return len(order.elements) - len(matching)
+
+
+def transitive_reduction(order: PartialOrder) -> List[Tuple[Element, Element]]:
+    """The covering pairs of the order (Definition 4's Reuse DAG edges).
+
+    A pair (a, b) is kept iff there is no c with a < c < b — the paper
+    removes transitive edges from the Reuse DAG for presentation and for
+    the head/tail trimming; the matching itself uses all pairs.
+    """
+    covers: List[Tuple[Element, Element]] = []
+    for a, greater in order.above.items():
+        for b in greater:
+            if not any(b in order.above[c] for c in greater if c != b):
+                covers.append((a, b))
+    return covers
+
+
+def closure_from_dag_pairs(
+    elements: Iterable[Element],
+    covers: Iterable[Tuple[Element, Element]],
+) -> PartialOrder:
+    """Build the transitive closure of a covering (DAG-edge) relation."""
+    element_list = list(elements)
+    index = {e: i for i, e in enumerate(element_list)}
+    succ_masks = [0] * len(element_list)
+    adjacency: Dict[int, List[int]] = {i: [] for i in range(len(element_list))}
+    indegree = [0] * len(element_list)
+    for a, b in covers:
+        adjacency[index[a]].append(index[b])
+        indegree[index[b]] += 1
+
+    # Kahn topological order, then reverse DP with bitmasks.
+    from collections import deque
+
+    queue = deque(i for i, d in enumerate(indegree) if d == 0)
+    topo: List[int] = []
+    indegree_work = list(indegree)
+    while queue:
+        i = queue.popleft()
+        topo.append(i)
+        for j in adjacency[i]:
+            indegree_work[j] -= 1
+            if indegree_work[j] == 0:
+                queue.append(j)
+    if len(topo) != len(element_list):
+        raise PartialOrderError("covering relation contains a cycle")
+    for i in reversed(topo):
+        mask = 0
+        for j in adjacency[i]:
+            mask |= succ_masks[j] | (1 << j)
+        succ_masks[i] = mask
+
+    above: Dict[Element, FrozenSet[Element]] = {}
+    for i, element in enumerate(element_list):
+        mask = succ_masks[i]
+        greater: Set[Element] = set()
+        while mask:
+            low = mask & -mask
+            greater.add(element_list[low.bit_length() - 1])
+            mask ^= low
+        above[element] = frozenset(greater)
+    return PartialOrder(element_list, above)

@@ -1,0 +1,53 @@
+"""Three-address intermediate representation: the substrate URSA works on."""
+
+from repro.ir.block import BasicBlock
+from repro.ir.builder import ProgramBuilder, TraceBuilder, as_addr, as_operand
+from repro.ir.instructions import Addr, Imm, Instruction, Operand, Var
+from repro.ir.interp import (
+    ExecutionResult,
+    Interpreter,
+    InterpreterError,
+    run_program,
+    run_trace,
+)
+from repro.ir.opcodes import Opcode, default_fu_class
+from repro.ir.parser import ParseError, parse_program, parse_trace
+from repro.ir.printer import format_program, format_table, format_trace
+from repro.ir.program import IRError, Program, straightline_program
+from repro.ir.rename import RenameResult, is_single_assignment, rename_trace
+from repro.ir.trace import Trace, main_trace, select_traces
+
+__all__ = [
+    "Addr",
+    "BasicBlock",
+    "ExecutionResult",
+    "IRError",
+    "Imm",
+    "Instruction",
+    "Interpreter",
+    "InterpreterError",
+    "Opcode",
+    "Operand",
+    "ParseError",
+    "Program",
+    "ProgramBuilder",
+    "RenameResult",
+    "Trace",
+    "TraceBuilder",
+    "Var",
+    "as_addr",
+    "as_operand",
+    "default_fu_class",
+    "format_program",
+    "format_table",
+    "format_trace",
+    "is_single_assignment",
+    "main_trace",
+    "parse_program",
+    "parse_trace",
+    "rename_trace",
+    "run_program",
+    "run_trace",
+    "select_traces",
+    "straightline_program",
+]

@@ -1,0 +1,72 @@
+"""Basic blocks for the three-address IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.ir.instructions import Instruction, validate_instruction
+from repro.ir.opcodes import Opcode
+
+
+@dataclass
+class BasicBlock:
+    """A labelled straight-line sequence of instructions.
+
+    The final instruction may be a terminator (``BR``, ``CBR``, ``HALT``);
+    a block without an explicit terminator falls through to the next block
+    in program order.
+    """
+
+    label: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, inst: Instruction) -> Instruction:
+        validate_instruction(inst)
+        self.instructions.append(inst)
+        return inst
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The trailing control instruction, or ``None`` on fallthrough."""
+        if self.instructions and self.instructions[-1].is_control:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> List[Instruction]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def successor_labels(self, fallthrough: Optional[str]) -> List[str]:
+        """Labels this block may transfer control to.
+
+        ``fallthrough`` is the label of the next block in program order
+        (or ``None`` when this is the last block).
+        """
+        term = self.terminator
+        if term is None:
+            return [fallthrough] if fallthrough is not None else []
+        if term.op is Opcode.BR:
+            return [term.target]  # type: ignore[list-item]
+        if term.op is Opcode.CBR:
+            succs = [term.target]  # taken edge first
+            if fallthrough is not None:
+                succs.append(fallthrough)
+            return succs  # type: ignore[return-value]
+        if term.op is Opcode.HALT:
+            return []
+        raise AssertionError(f"unexpected terminator {term!r}")  # pragma: no cover
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {inst}" for inst in self.instructions)
+        return "\n".join(lines)

@@ -1,0 +1,268 @@
+"""Fluent builders for constructing IR programmatically.
+
+These are the main programmatic entry point for tests, workload
+generators and examples: each helper returns the *name* of the value it
+defined, so expressions compose naturally::
+
+    b = TraceBuilder()
+    v = b.load("v")
+    w = b.mul(v, 2)
+    x = b.mul(v, 3)
+    b.store("z", b.add(w, x))
+    trace = b.build()
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Union
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Addr, Imm, Instruction, Var
+from repro.ir.opcodes import Opcode
+from repro.ir.program import Program
+
+OperandLike = Union[str, int, Imm, Var]
+
+
+def as_operand(value: OperandLike):
+    """Coerce a Python value into an IR operand.
+
+    Strings become :class:`Var` references and ints become :class:`Imm`.
+    """
+    if isinstance(value, (Imm, Var)):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    if isinstance(value, int):
+        return Imm(value)
+    raise TypeError(f"cannot convert {value!r} to an operand")
+
+
+def as_addr(addr: Union[str, Addr], offset: int = 0) -> Addr:
+    if isinstance(addr, Addr):
+        return addr
+    return Addr(addr, offset)
+
+
+class TraceBuilder:
+    """Builds a straight-line instruction sequence (one trace/block)."""
+
+    def __init__(self, name_prefix: str = "t") -> None:
+        self.instructions: List[Instruction] = []
+        self._prefix = name_prefix
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    def fresh_name(self, hint: Optional[str] = None) -> str:
+        if hint is not None:
+            return hint
+        return f"{self._prefix}{next(self._counter)}"
+
+    def emit(self, inst: Instruction) -> Instruction:
+        self.instructions.append(inst)
+        return inst
+
+    # ------------------------------------------------------------------
+    # Value producers.
+    # ------------------------------------------------------------------
+    def const(self, value: int, name: Optional[str] = None) -> str:
+        dest = self.fresh_name(name)
+        self.emit(Instruction(Opcode.CONST, dest=dest, srcs=(Imm(value),)))
+        return dest
+
+    def mov(self, src: OperandLike, name: Optional[str] = None) -> str:
+        dest = self.fresh_name(name)
+        self.emit(Instruction(Opcode.MOV, dest=dest, srcs=(as_operand(src),)))
+        return dest
+
+    def neg(self, src: OperandLike, name: Optional[str] = None) -> str:
+        dest = self.fresh_name(name)
+        self.emit(Instruction(Opcode.NEG, dest=dest, srcs=(as_operand(src),)))
+        return dest
+
+    def binary(
+        self,
+        op: Opcode,
+        lhs: OperandLike,
+        rhs: OperandLike,
+        name: Optional[str] = None,
+    ) -> str:
+        dest = self.fresh_name(name)
+        self.emit(
+            Instruction(op, dest=dest, srcs=(as_operand(lhs), as_operand(rhs)))
+        )
+        return dest
+
+    def load(
+        self,
+        base: Union[str, Addr],
+        offset: int = 0,
+        name: Optional[str] = None,
+    ) -> str:
+        dest = self.fresh_name(name)
+        self.emit(Instruction(Opcode.LOAD, dest=dest, addr=as_addr(base, offset)))
+        return dest
+
+    # Explicit binary-op helpers.  Each emits ``dest = lhs <op> rhs`` and
+    # returns ``dest``.
+    def add(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.ADD, lhs, rhs, name)
+
+    def sub(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.SUB, lhs, rhs, name)
+
+    def mul(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.MUL, lhs, rhs, name)
+
+    def div(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.DIV, lhs, rhs, name)
+
+    def mod(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.MOD, lhs, rhs, name)
+
+    def and_(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.AND, lhs, rhs, name)
+
+    def or_(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.OR, lhs, rhs, name)
+
+    def xor(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.XOR, lhs, rhs, name)
+
+    def shl(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.SHL, lhs, rhs, name)
+
+    def shr(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.SHR, lhs, rhs, name)
+
+    def min(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.MIN, lhs, rhs, name)
+
+    def max(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.MAX, lhs, rhs, name)
+
+    def cmpeq(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.CMPEQ, lhs, rhs, name)
+
+    def cmpne(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.CMPNE, lhs, rhs, name)
+
+    def cmplt(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.CMPLT, lhs, rhs, name)
+
+    def cmple(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.CMPLE, lhs, rhs, name)
+
+    def cmpgt(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.CMPGT, lhs, rhs, name)
+
+    def cmpge(self, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None) -> str:
+        return self.binary(Opcode.CMPGE, lhs, rhs, name)
+
+    # ------------------------------------------------------------------
+    # Effects.
+    # ------------------------------------------------------------------
+    def store(
+        self, base: Union[str, Addr], value: OperandLike, offset: int = 0
+    ) -> Instruction:
+        return self.emit(
+            Instruction(
+                Opcode.STORE, srcs=(as_operand(value),), addr=as_addr(base, offset)
+            )
+        )
+
+    def cbr(self, cond: OperandLike, target: str) -> Instruction:
+        """Side exit: branch to ``target`` when ``cond`` is non-zero."""
+        return self.emit(
+            Instruction(Opcode.CBR, srcs=(as_operand(cond),), target=target)
+        )
+
+    def halt(self) -> Instruction:
+        return self.emit(Instruction(Opcode.HALT))
+
+    # ------------------------------------------------------------------
+    def build(self) -> List[Instruction]:
+        """Return the built instruction list."""
+        return list(self.instructions)
+
+    def build_program(self, label: str = "L0", halt: bool = True) -> Program:
+        """Wrap the built trace into a one-block program."""
+        block = BasicBlock(label)
+        for inst in self.instructions:
+            block.append(inst)
+        if halt and (block.terminator is None or block.terminator.op is Opcode.CBR):
+            block.append(Instruction(Opcode.HALT))
+        prog = Program()
+        prog.add_block(block)
+        return prog
+
+
+class ProgramBuilder:
+    """Builds multi-block programs with labelled blocks and branches."""
+
+    def __init__(self, name_prefix: str = "t") -> None:
+        self.program = Program()
+        self._prefix = name_prefix
+        self._counter = itertools.count()
+        self._current: Optional[BasicBlock] = None
+
+    def block(self, label: str) -> "ProgramBuilder":
+        """Start a new basic block; subsequent emits go into it."""
+        self._current = self.program.add_block(BasicBlock(label))
+        return self
+
+    def _require_block(self) -> BasicBlock:
+        if self._current is None:
+            raise RuntimeError("no current block; call .block(label) first")
+        return self._current
+
+    def fresh_name(self) -> str:
+        return f"{self._prefix}{next(self._counter)}"
+
+    def emit(self, inst: Instruction) -> Instruction:
+        return self._require_block().append(inst)
+
+    # Value producers mirror TraceBuilder; share through small wrappers.
+    def const(self, value: int, name: Optional[str] = None) -> str:
+        dest = name or self.fresh_name()
+        self.emit(Instruction(Opcode.CONST, dest=dest, srcs=(Imm(value),)))
+        return dest
+
+    def binary(
+        self, op: Opcode, lhs: OperandLike, rhs: OperandLike, name: Optional[str] = None
+    ) -> str:
+        dest = name or self.fresh_name()
+        self.emit(Instruction(op, dest=dest, srcs=(as_operand(lhs), as_operand(rhs))))
+        return dest
+
+    def load(
+        self, base: Union[str, Addr], offset: int = 0, name: Optional[str] = None
+    ) -> str:
+        dest = name or self.fresh_name()
+        self.emit(Instruction(Opcode.LOAD, dest=dest, addr=as_addr(base, offset)))
+        return dest
+
+    def store(
+        self, base: Union[str, Addr], value: OperandLike, offset: int = 0
+    ) -> Instruction:
+        return self.emit(
+            Instruction(
+                Opcode.STORE, srcs=(as_operand(value),), addr=as_addr(base, offset)
+            )
+        )
+
+    def br(self, target: str) -> Instruction:
+        return self.emit(Instruction(Opcode.BR, target=target))
+
+    def cbr(self, cond: OperandLike, target: str) -> Instruction:
+        return self.emit(
+            Instruction(Opcode.CBR, srcs=(as_operand(cond),), target=target)
+        )
+
+    def halt(self) -> Instruction:
+        return self.emit(Instruction(Opcode.HALT))
+
+    def build(self) -> Program:
+        self.program.validate()
+        return self.program

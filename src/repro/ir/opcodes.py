@@ -1,0 +1,142 @@
+"""Opcode definitions for the three-address intermediate representation.
+
+The IR is a load/store three-address code in the style the URSA paper
+assumes: arithmetic happens between virtual values, and memory is touched
+only through explicit ``LOAD`` / ``STORE`` instructions.  A handful of
+pseudo opcodes (``ENTRY``, ``EXIT``) exist only as the virtual root and
+leaf of dependence DAGs and are never executed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class Opcode(enum.Enum):
+    """Operation codes understood by the IR, interpreter and simulator."""
+
+    # Value producers.
+    CONST = "const"
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    NEG = "neg"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MIN = "min"
+    MAX = "max"
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+
+    # Memory.
+    LOAD = "load"
+    STORE = "store"
+    # Spill traffic introduced by allocators.  Semantically identical to
+    # LOAD/STORE against a reserved spill area, but kept distinct so that
+    # metrics and the DAG transformations can recognise them.
+    SPILL = "spill"
+    RELOAD = "reload"
+
+    # Control.
+    BR = "br"
+    CBR = "cbr"
+    HALT = "halt"
+    NOP = "nop"
+
+    # Pseudo nodes used only in dependence DAGs.
+    ENTRY = "entry"
+    EXIT = "exit"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Opcode.{self.name}"
+
+
+#: Binary arithmetic/logic opcodes: ``dest = src0 op src1``.
+BINARY_OPS: FrozenSet[Opcode] = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+    }
+)
+
+#: Unary opcodes: ``dest = op src0``.
+UNARY_OPS: FrozenSet[Opcode] = frozenset({Opcode.MOV, Opcode.NEG})
+
+#: Opcodes that read or write memory.
+MEMORY_OPS: FrozenSet[Opcode] = frozenset(
+    {Opcode.LOAD, Opcode.STORE, Opcode.SPILL, Opcode.RELOAD}
+)
+
+#: Memory opcodes that write memory.
+MEMORY_WRITE_OPS: FrozenSet[Opcode] = frozenset({Opcode.STORE, Opcode.SPILL})
+
+#: Memory opcodes that read memory.
+MEMORY_READ_OPS: FrozenSet[Opcode] = frozenset({Opcode.LOAD, Opcode.RELOAD})
+
+#: Opcodes that transfer control.
+CONTROL_OPS: FrozenSet[Opcode] = frozenset({Opcode.BR, Opcode.CBR, Opcode.HALT})
+
+#: Pseudo opcodes that never execute.
+PSEUDO_OPS: FrozenSet[Opcode] = frozenset({Opcode.ENTRY, Opcode.EXIT})
+
+#: Opcodes that define a new value (have a destination).
+DEFINING_OPS: FrozenSet[Opcode] = (
+    BINARY_OPS | UNARY_OPS | frozenset({Opcode.CONST, Opcode.LOAD, Opcode.RELOAD})
+)
+
+#: Commutative binary opcodes (used by canonicalisation and testing).
+COMMUTATIVE_OPS: FrozenSet[Opcode] = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.MUL,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+    }
+)
+
+
+def default_fu_class(op: Opcode) -> str:
+    """Return the canonical functional-unit class name for ``op``.
+
+    Machine models may remap opcodes to their own classes; this provides
+    the conventional four-way split used by the classed machine models.
+    """
+    if op in MEMORY_OPS:
+        return "mem"
+    if op in (Opcode.MUL, Opcode.DIV, Opcode.MOD):
+        return "mul"
+    if op in CONTROL_OPS:
+        return "branch"
+    return "alu"

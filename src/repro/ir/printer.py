@@ -1,0 +1,49 @@
+"""Pretty-printers for IR entities."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.ir.instructions import Instruction
+from repro.ir.program import Program
+
+
+def format_trace(
+    instructions: Sequence[Instruction],
+    numbered: bool = True,
+    show_uids: bool = False,
+) -> str:
+    """Render a straight-line instruction sequence as text."""
+    lines = []
+    for index, inst in enumerate(instructions):
+        prefix = f"{index:3d}: " if numbered else "  "
+        suffix = f"   ; uid={inst.uid}" if show_uids else ""
+        lines.append(f"{prefix}{inst}{suffix}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a program block-by-block."""
+    return str(program)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an ASCII table — used by the benchmark harness output."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

@@ -1,0 +1,76 @@
+"""Single-assignment renaming for traces.
+
+URSA's value model (one register-resident value per defining instruction,
+killed by its last use) assumes every value in a trace is defined exactly
+once.  :func:`rename_trace` rewrites a trace so each definition gets a
+fresh name (``x``, ``x.1``, ``x.2``, ...) and uses refer to the reaching
+definition.  Values used before any definition (trace live-ins) keep their
+original names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.ir.instructions import Instruction
+
+
+@dataclass
+class RenameResult:
+    """Outcome of single-assignment renaming."""
+
+    instructions: List[Instruction]
+    #: Final version of each original name (for reading live-out values).
+    final_names: Dict[str, str] = field(default_factory=dict)
+    #: Names read before any definition — the trace's live-in values.
+    live_ins: Set[str] = field(default_factory=set)
+
+
+def rename_trace(instructions: List[Instruction]) -> RenameResult:
+    """Rewrite ``instructions`` into single-assignment form.
+
+    Instruction uids are preserved, so callers may correlate renamed
+    instructions with the originals.
+    """
+    current: Dict[str, str] = {}
+    versions: Dict[str, int] = {}
+    live_ins: Set[str] = set()
+    renamed: List[Instruction] = []
+
+    for inst in instructions:
+        for use in inst.uses():
+            if use not in current:
+                live_ins.add(use)
+                current[use] = use
+        new_inst = inst.with_renamed_uses(current)
+        if inst.dest is not None:
+            base = inst.dest
+            version = versions.get(base, 0)
+            versions[base] = version + 1
+            new_name = base if version == 0 else f"{base}.{version}"
+            # A name that was only ever a live-in so far still gets its
+            # plain name on first definition *unless* the live-in reading
+            # must keep seeing the incoming value.  Reusing the plain name
+            # after it was consumed as a live-in would merge two distinct
+            # values, so version it.
+            if version == 0 and base in live_ins:
+                versions[base] = 2
+                new_name = f"{base}.1"
+            current[base] = new_name
+            new_inst = new_inst.with_dest(new_name)
+        renamed.append(new_inst)
+
+    final_names = dict(current)
+    return RenameResult(renamed, final_names, live_ins)
+
+
+def is_single_assignment(instructions: List[Instruction]) -> bool:
+    """True when no value name is defined more than once."""
+    seen: Set[str] = set()
+    for inst in instructions:
+        if inst.dest is not None:
+            if inst.dest in seen:
+                return False
+            seen.add(inst.dest)
+    return True

@@ -1,0 +1,26 @@
+"""Synthetic VLIW machine models, code containers, and the simulator."""
+
+from repro.machine.model import FUClass, MachineConfigError, MachineModel
+from repro.machine.presets import PRESETS, all_presets, preset
+from repro.machine.simulator import (
+    SimulationError,
+    SimulationResult,
+    VLIWSimulator,
+)
+from repro.machine.vliw import MachineOp, RegRef, VLIWProgram, VLIWWord
+
+__all__ = [
+    "FUClass",
+    "PRESETS",
+    "all_presets",
+    "preset",
+    "MachineConfigError",
+    "MachineModel",
+    "MachineOp",
+    "RegRef",
+    "SimulationError",
+    "SimulationResult",
+    "VLIWProgram",
+    "VLIWSimulator",
+    "VLIWWord",
+]

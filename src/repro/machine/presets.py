@@ -1,0 +1,84 @@
+"""Preset machine configurations for the benchmark grids.
+
+Loosely modeled on the VLIW design points of the paper's era (not exact
+replicas — the evaluation needs *shapes*, not vendor timing): a narrow
+embedded-style core, a mid-size research VLIW, a Multiflow-TRACE-like
+wide machine, and a Cydra-like classed machine with long memory
+latency.  All are reachable by name through :func:`preset`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.machine.model import FUClass, MachineModel
+
+
+def narrow_vliw() -> MachineModel:
+    """A minimal 2-wide machine with a tiny register file."""
+    return MachineModel.homogeneous(2, 4, name="narrow-2w-4r")
+
+
+def research_vliw() -> MachineModel:
+    """The mid-size homogeneous configuration most experiments use."""
+    return MachineModel.homogeneous(4, 8, name="research-4w-8r")
+
+
+def trace_like() -> MachineModel:
+    """A wide 7-issue machine in the spirit of the Multiflow TRACE/7:
+    four integer ALUs, two multiplier pipes, one memory port."""
+    return MachineModel.classed(
+        alu=4, mul=2, mem=1, branch=1, alu_regs=32,
+        latencies={"mul": 2, "mem": 2},
+        name="trace7-like",
+    )
+
+
+def cydra_like() -> MachineModel:
+    """A classed machine with long, pipelined memory in the spirit of
+    the Cydra 5: latency hurts, throughput does not."""
+    machine = MachineModel.classed(
+        alu=2, mul=1, mem=2, branch=1, alu_regs=16,
+        latencies={"mem": 4, "mul": 2},
+        name="cydra-like",
+    )
+    pipelined = tuple(
+        FUClass(fu.name, fu.count, fu.latency, fu.ops, pipelined=True)
+        for fu in machine.fu_classes
+    )
+    return MachineModel(
+        name=machine.name,
+        fu_classes=pipelined,
+        registers=machine.registers,
+        reg_class_of=machine.reg_class_of,
+    )
+
+
+def embedded_dsp() -> MachineModel:
+    """A small dual-register-file machine (int + "float" by prefix)."""
+    return MachineModel.dual_regclass(
+        n_fus=3, int_regs=6, flt_regs=6, name="embedded-dsp"
+    )
+
+
+PRESETS = {
+    "narrow": narrow_vliw,
+    "research": research_vliw,
+    "trace7": trace_like,
+    "cydra": cydra_like,
+    "dsp": embedded_dsp,
+}
+
+
+def preset(name: str) -> MachineModel:
+    """Instantiate a preset machine by name."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None
+
+
+def all_presets() -> List[MachineModel]:
+    return [factory() for factory in PRESETS.values()]

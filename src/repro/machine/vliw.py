@@ -1,0 +1,133 @@
+"""VLIW program representation: wide instruction words of machine ops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ir.instructions import Addr
+from repro.ir.opcodes import Opcode
+from repro.machine.model import MachineModel
+
+
+@dataclass(frozen=True)
+class RegRef:
+    """A physical register: class name + index within the class."""
+
+    index: int
+    cls: str = "gpr"
+
+    def __str__(self) -> str:
+        prefix = "r" if self.cls in ("gpr", "int") else self.cls[0]
+        return f"{prefix}{self.index}"
+
+
+#: Machine operands are physical registers or integer immediates.
+MOperand = Union[RegRef, int]
+
+
+@dataclass(frozen=True)
+class MachineOp:
+    """One operation in a VLIW slot, on physical registers.
+
+    ``source_uid`` links back to the IR instruction the op was compiled
+    from, for debugging and for metrics (e.g. counting spill traffic).
+    """
+
+    op: Opcode
+    dest: Optional[RegRef] = None
+    srcs: Tuple[MOperand, ...] = ()
+    addr: Optional[Addr] = None
+    target: Optional[str] = None
+    source_uid: Optional[int] = None
+
+    def __str__(self) -> str:
+        parts = [self.op.value]
+        if self.dest is not None:
+            parts.append(str(self.dest) + " <-")
+        parts.extend(str(s) for s in self.srcs)
+        if self.addr is not None:
+            parts.append(str(self.addr))
+        if self.target is not None:
+            parts.append(self.target)
+        return " ".join(parts)
+
+
+@dataclass
+class VLIWWord:
+    """One issue cycle: at most one op per (fu_class, fu_index) slot."""
+
+    #: (fu_class name, fu index) -> op
+    slots: Dict[Tuple[str, int], MachineOp] = field(default_factory=dict)
+
+    def place(self, fu_class: str, fu_index: int, op: MachineOp) -> None:
+        key = (fu_class, fu_index)
+        if key in self.slots:
+            raise ValueError(f"slot {key} already occupied")
+        self.slots[key] = op
+
+    @property
+    def ops(self) -> List[MachineOp]:
+        return [self.slots[key] for key in sorted(self.slots)]
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __str__(self) -> str:
+        if not self.slots:
+            return "(nop)"
+        return " || ".join(
+            f"{cls}{idx}: {op}" for (cls, idx), op in sorted(self.slots.items())
+        )
+
+
+@dataclass
+class VLIWProgram:
+    """A compiled trace: a sequence of wide words for a machine model."""
+
+    machine: MachineModel
+    words: List[VLIWWord] = field(default_factory=list)
+    #: physical registers holding trace live-in values at cycle 0.
+    live_in_regs: Dict[str, RegRef] = field(default_factory=dict)
+
+    @property
+    def issue_cycles(self) -> int:
+        return len(self.words)
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(word) for word in self.words)
+
+    @property
+    def spill_op_count(self) -> int:
+        return sum(
+            1
+            for word in self.words
+            for op in word.ops
+            if op.op in (Opcode.SPILL, Opcode.RELOAD)
+        )
+
+    def max_registers_used(self) -> Dict[str, int]:
+        """Highest register index + 1 touched, per class."""
+        peak: Dict[str, int] = {}
+        for word in self.words:
+            for op in word.ops:
+                refs = [op.dest] if op.dest is not None else []
+                refs.extend(s for s in op.srcs if isinstance(s, RegRef))
+                for ref in refs:
+                    peak[ref.cls] = max(peak.get(ref.cls, 0), ref.index + 1)
+        for ref in self.live_in_regs.values():
+            peak[ref.cls] = max(peak.get(ref.cls, 0), ref.index + 1)
+        return peak
+
+    def utilization(self) -> float:
+        """Fraction of FU slots holding an op over the program's cycles."""
+        if not self.words:
+            return 0.0
+        return self.op_count / (self.machine.total_fus * len(self.words))
+
+    def __str__(self) -> str:
+        lines = [f"; {self.machine.describe()}"]
+        for cycle, word in enumerate(self.words):
+            lines.append(f"{cycle:4d}: {word}")
+        return "\n".join(lines)

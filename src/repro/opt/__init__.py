@@ -1,0 +1,21 @@
+"""Classical scalar optimizations run before allocation."""
+
+from repro.opt.passes import (
+    simplify_algebraic,
+    OptStats,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    optimize_trace,
+    propagate_copies,
+)
+
+__all__ = [
+    "simplify_algebraic",
+    "OptStats",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "fold_constants",
+    "optimize_trace",
+    "propagate_copies",
+]

@@ -1,0 +1,326 @@
+"""Classical scalar optimizations on straight-line traces.
+
+URSA consumes whatever the front end produces; a realistic front end
+cleans the trace up first.  These passes operate on single-assignment
+straight-line code (the same form the dependence-DAG builder consumes)
+and preserve the observable semantics exactly (memory effects and side
+exits are never touched):
+
+* :func:`fold_constants` — evaluates ops whose operands are constants;
+* :func:`simplify_algebraic` — identities like ``x*0``, ``x+0``, ``x-x``;
+* :func:`propagate_copies` — forwards ``x = y`` moves to the uses;
+* :func:`eliminate_common_subexpressions` — reuses prior identical
+  pure computations (memory ops are not candidates);
+* :func:`eliminate_dead_code` — drops value definitions nothing reads.
+
+:func:`optimize_trace` runs them to a fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.instructions import Imm, Instruction, Operand, Var
+from repro.ir.interp import InterpreterError, _binary_eval
+from repro.ir.opcodes import (
+    BINARY_OPS,
+    COMMUTATIVE_OPS,
+    Opcode,
+)
+from repro.ir.rename import is_single_assignment, rename_trace
+
+
+@dataclass
+class OptStats:
+    """How much each pass changed the trace."""
+
+    folded: int = 0
+    copies_propagated: int = 0
+    cse_hits: int = 0
+    dead_removed: int = 0
+    iterations: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.folded
+            + self.copies_propagated
+            + self.cse_hits
+            + self.dead_removed
+        )
+
+
+def _ensure_ssa(instructions: Sequence[Instruction]) -> List[Instruction]:
+    if is_single_assignment(instructions):
+        return list(instructions)
+    return rename_trace(list(instructions)).instructions
+
+
+# ======================================================================
+# Individual passes.
+# ======================================================================
+def fold_constants(
+    instructions: Sequence[Instruction],
+    stats: Optional[OptStats] = None,
+) -> List[Instruction]:
+    """Replace ops on constant operands with ``CONST`` definitions.
+
+    Ops that would fault (division by zero) are left untouched — the
+    program's behaviour, including its errors, is preserved.
+    """
+    stats = stats if stats is not None else OptStats()
+    constants: Dict[str, int] = {}
+    out: List[Instruction] = []
+    for inst in instructions:
+        srcs = tuple(
+            Imm(constants[s.name]) if isinstance(s, Var) and s.name in constants
+            else s
+            for s in inst.srcs
+        )
+        inst = inst if srcs == inst.srcs else _with_srcs(inst, srcs)
+
+        if inst.op is Opcode.CONST:
+            constants[inst.dest] = inst.srcs[0].value  # type: ignore[union-attr]
+            out.append(inst)
+            continue
+        if inst.op in BINARY_OPS and all(isinstance(s, Imm) for s in srcs):
+            try:
+                value = _binary_eval(inst.op, srcs[0].value, srcs[1].value)
+            except InterpreterError:
+                out.append(inst)  # would fault: keep it faulting
+                continue
+            constants[inst.dest] = value
+            out.append(
+                Instruction(
+                    Opcode.CONST, dest=inst.dest, srcs=(Imm(value),),
+                    uid=inst.uid,
+                )
+            )
+            stats.folded += 1
+            continue
+        if inst.op is Opcode.NEG and isinstance(srcs[0], Imm):
+            value = -srcs[0].value
+            constants[inst.dest] = value
+            out.append(
+                Instruction(
+                    Opcode.CONST, dest=inst.dest, srcs=(Imm(value),),
+                    uid=inst.uid,
+                )
+            )
+            stats.folded += 1
+            continue
+        if inst.op is Opcode.MOV and isinstance(srcs[0], Imm):
+            constants[inst.dest] = srcs[0].value
+            out.append(
+                Instruction(
+                    Opcode.CONST, dest=inst.dest, srcs=(srcs[0],), uid=inst.uid
+                )
+            )
+            stats.folded += 1
+            continue
+        out.append(inst)
+    return out
+
+
+def propagate_copies(
+    instructions: Sequence[Instruction],
+    stats: Optional[OptStats] = None,
+) -> List[Instruction]:
+    """Forward ``x = y`` so uses of ``x`` read ``y`` directly."""
+    stats = stats if stats is not None else OptStats()
+    alias: Dict[str, str] = {}
+    out: List[Instruction] = []
+    for inst in instructions:
+        rename = {
+            name: alias[name] for name in inst.uses() if name in alias
+        }
+        if rename:
+            inst = inst.with_renamed_uses(rename)
+            stats.copies_propagated += 1
+        if inst.op is Opcode.MOV and isinstance(inst.srcs[0], Var):
+            alias[inst.dest] = inst.srcs[0].name
+        out.append(inst)
+    return out
+
+
+def simplify_algebraic(
+    instructions: Sequence[Instruction],
+    stats: Optional[OptStats] = None,
+) -> List[Instruction]:
+    """Apply algebraic identities: x*0, x*1, x+0, x-x, x^x and friends.
+
+    Divisions are only simplified when the simplification cannot hide a
+    fault the original would raise (``x/1`` is safe; ``0/x`` is not).
+    """
+    stats = stats if stats is not None else OptStats()
+    out: List[Instruction] = []
+
+    def const(inst: Instruction, value: int) -> Instruction:
+        stats.folded += 1
+        return Instruction(
+            Opcode.CONST, dest=inst.dest, srcs=(Imm(value),), uid=inst.uid
+        )
+
+    def mov(inst: Instruction, operand: Operand) -> Instruction:
+        stats.folded += 1
+        return Instruction(
+            Opcode.MOV, dest=inst.dest, srcs=(operand,), uid=inst.uid
+        )
+
+    for inst in instructions:
+        if inst.op not in BINARY_OPS:
+            out.append(inst)
+            continue
+        lhs, rhs = inst.srcs
+        lhs_imm = lhs.value if isinstance(lhs, Imm) else None
+        rhs_imm = rhs.value if isinstance(rhs, Imm) else None
+        same = (
+            isinstance(lhs, Var) and isinstance(rhs, Var) and lhs.name == rhs.name
+        )
+        op = inst.op
+        replacement: Optional[Instruction] = None
+        if op is Opcode.MUL:
+            if lhs_imm == 0 or rhs_imm == 0:
+                replacement = const(inst, 0)
+            elif lhs_imm == 1:
+                replacement = mov(inst, rhs)
+            elif rhs_imm == 1:
+                replacement = mov(inst, lhs)
+        elif op is Opcode.ADD:
+            if lhs_imm == 0:
+                replacement = mov(inst, rhs)
+            elif rhs_imm == 0:
+                replacement = mov(inst, lhs)
+        elif op is Opcode.SUB:
+            if rhs_imm == 0:
+                replacement = mov(inst, lhs)
+            elif same:
+                replacement = const(inst, 0)
+        elif op is Opcode.DIV:
+            if rhs_imm == 1:
+                replacement = mov(inst, lhs)
+        elif op is Opcode.XOR:
+            if same:
+                replacement = const(inst, 0)
+            elif lhs_imm == 0:
+                replacement = mov(inst, rhs)
+            elif rhs_imm == 0:
+                replacement = mov(inst, lhs)
+        elif op in (Opcode.OR, Opcode.AND):
+            if same:
+                replacement = mov(inst, lhs)
+            elif op is Opcode.OR and rhs_imm == 0:
+                replacement = mov(inst, lhs)
+            elif op is Opcode.OR and lhs_imm == 0:
+                replacement = mov(inst, rhs)
+            elif op is Opcode.AND and (lhs_imm == 0 or rhs_imm == 0):
+                replacement = const(inst, 0)
+        elif op in (Opcode.SHL, Opcode.SHR):
+            if rhs_imm == 0:
+                replacement = mov(inst, lhs)
+        elif op in (Opcode.MIN, Opcode.MAX):
+            if same:
+                replacement = mov(inst, lhs)
+        out.append(replacement if replacement is not None else inst)
+    return out
+
+
+def _cse_key(inst: Instruction) -> Optional[Tuple]:
+    """A value-numbering key for pure computations."""
+    if inst.op is Opcode.CONST:
+        return (inst.op, inst.srcs[0].value)  # type: ignore[union-attr]
+    if inst.op in BINARY_OPS:
+        operands = tuple(
+            ("var", s.name) if isinstance(s, Var) else ("imm", s.value)
+            for s in inst.srcs
+        )
+        if inst.op in COMMUTATIVE_OPS:
+            operands = tuple(sorted(operands))
+        return (inst.op, operands)
+    if inst.op is Opcode.NEG:
+        s = inst.srcs[0]
+        return (inst.op, ("var", s.name) if isinstance(s, Var) else ("imm", s.value))
+    return None  # loads, stores, branches: never CSE'd
+
+
+def eliminate_common_subexpressions(
+    instructions: Sequence[Instruction],
+    stats: Optional[OptStats] = None,
+) -> List[Instruction]:
+    """Replace recomputed pure expressions with MOVs of the first result.
+
+    The MOVs are cleaned up by a following copy-propagation + DCE round
+    (``optimize_trace`` iterates to a fixed point).
+    """
+    stats = stats if stats is not None else OptStats()
+    seen: Dict[Tuple, str] = {}
+    out: List[Instruction] = []
+    for inst in instructions:
+        key = _cse_key(inst)
+        if key is not None:
+            prior = seen.get(key)
+            if prior is not None and prior != inst.dest:
+                out.append(
+                    Instruction(
+                        Opcode.MOV, dest=inst.dest, srcs=(Var(prior),),
+                        uid=inst.uid,
+                    )
+                )
+                stats.cse_hits += 1
+                continue
+            seen.setdefault(key, inst.dest)
+        out.append(inst)
+    return out
+
+
+def eliminate_dead_code(
+    instructions: Sequence[Instruction],
+    live_out: Sequence[str] = (),
+    stats: Optional[OptStats] = None,
+) -> List[Instruction]:
+    """Drop definitions whose values are never used.
+
+    Memory writes, branches and other effects are always kept.
+    """
+    stats = stats if stats is not None else OptStats()
+    needed: Set[str] = set(live_out)
+    keep: List[bool] = [False] * len(instructions)
+    for index in range(len(instructions) - 1, -1, -1):
+        inst = instructions[index]
+        effect = inst.is_memory_write or inst.is_control or inst.op is Opcode.NOP
+        if effect or (inst.dest is not None and inst.dest in needed):
+            keep[index] = True
+            needed.update(inst.uses())
+    removed = sum(1 for k in keep if not k)
+    stats.dead_removed += removed
+    return [inst for inst, kept in zip(instructions, keep) if kept]
+
+
+# ======================================================================
+def optimize_trace(
+    instructions: Sequence[Instruction],
+    live_out: Sequence[str] = (),
+    max_rounds: int = 10,
+) -> Tuple[List[Instruction], OptStats]:
+    """Run all passes to a fixed point; returns (trace, statistics)."""
+    stats = OptStats()
+    work = _ensure_ssa(instructions)
+    for _ in range(max_rounds):
+        stats.iterations += 1
+        before = [str(i) for i in work]
+        work = fold_constants(work, stats)
+        work = simplify_algebraic(work, stats)
+        work = propagate_copies(work, stats)
+        work = eliminate_common_subexpressions(work, stats)
+        work = propagate_copies(work, stats)
+        work = eliminate_dead_code(work, live_out, stats)
+        if [str(i) for i in work] == before:
+            break
+    return work, stats
+
+
+def _with_srcs(inst: Instruction, srcs: Tuple[Operand, ...]) -> Instruction:
+    from dataclasses import replace
+
+    return replace(inst, srcs=srcs)

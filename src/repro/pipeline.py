@@ -1,0 +1,303 @@
+"""End-to-end compilation pipelines: source/trace -> VLIW -> verified run.
+
+This is the top-level user API: pick a method (URSA with any policy, or
+one of the baselines), compile a trace for a machine, and — by default —
+verify the generated VLIW program against the reference interpreter on
+synthesized inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.metrics import ScheduleStats
+from repro.core.allocator import AllocationResult, Policy, URSAAllocator
+from repro.core.codegen import lower_schedule
+from repro.graph.dag import DependenceDAG
+from repro.ir.instructions import Instruction
+from repro.ir.interp import Interpreter, MemoryState
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_trace
+from repro.ir.trace import Trace
+from repro.machine.model import MachineModel
+from repro.machine.simulator import SimulationResult, VLIWSimulator
+from repro.machine.vliw import VLIWProgram
+from repro.scheduling.goodman_hsu import compile_goodman_hsu
+from repro.scheduling.list_scheduler import ListScheduler, Schedule
+from repro.scheduling.packer import pack_in_order
+from repro.scheduling.postpass import compile_postpass
+from repro.scheduling.prepass import compile_prepass
+from repro.scheduling.regalloc import LinearScanAllocator
+
+#: The compilation methods the harness can compare.
+METHODS = (
+    "ursa",
+    "ursa-phased",
+    "ursa-seq",
+    "ursa-spill",
+    "prepass",
+    "postpass",
+    "goodman-hsu",
+    "naive",
+)
+
+_URSA_POLICIES = {
+    "ursa": Policy.INTEGRATED,
+    "ursa-phased": Policy.PHASED,
+    "ursa-seq": Policy.SEQ_ONLY,
+    "ursa-spill": Policy.SPILL_ONLY,
+}
+
+
+class PipelineError(Exception):
+    """Compilation or verification failed."""
+
+
+@dataclass
+class CompilationResult:
+    """Everything produced by one compile: schedule, code, and metrics."""
+
+    method: str
+    machine: MachineModel
+    dag: DependenceDAG
+    schedule: Schedule
+    program: VLIWProgram
+    allocation: Optional[AllocationResult]
+    simulation: Optional[SimulationResult]
+    verified: Optional[bool]
+    stats: ScheduleStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+def build_dag(
+    source: Union[str, Sequence[Instruction], Trace, DependenceDAG],
+    live_out: Sequence[str] = (),
+) -> DependenceDAG:
+    """Normalize any supported input into a dependence DAG."""
+    if isinstance(source, DependenceDAG):
+        return source
+    if isinstance(source, Trace):
+        return DependenceDAG.from_trace(
+            source.flatten(),
+            side_exit_liveness=source.side_exit_liveness(),
+            live_out=source.fallthrough_liveness(),
+        )
+    if isinstance(source, str):
+        instructions = parse_trace(source)
+    else:
+        instructions = list(source)
+    return DependenceDAG.from_trace(instructions, live_out=live_out)
+
+
+def compile_trace(
+    source: Union[str, Sequence[Instruction], Trace, DependenceDAG],
+    machine: MachineModel,
+    method: str = "ursa",
+    live_out: Sequence[str] = (),
+    verify: bool = True,
+    memory: Optional[MemoryState] = None,
+    seed: int = 0,
+    optimize: bool = False,
+    assignment: str = "bind",
+) -> CompilationResult:
+    """Compile one trace with the chosen method.
+
+    With ``verify=True`` the generated VLIW program is simulated and its
+    final memory compared against the reference interpreter running the
+    original trace on the same inputs (synthesized deterministically
+    from ``seed`` unless ``memory`` is given).  ``optimize`` runs the
+    classical scalar passes (folding, CSE, copy propagation, DCE) before
+    allocation; it requires a trace input (not a prebuilt DAG).
+    """
+    if method not in METHODS:
+        raise PipelineError(f"unknown method {method!r}; pick one of {METHODS}")
+
+    if optimize:
+        if isinstance(source, DependenceDAG):
+            raise PipelineError("optimize=True needs a trace, not a DAG")
+        from repro.opt import optimize_trace as _optimize
+
+        if isinstance(source, Trace):
+            raise PipelineError(
+                "optimize=True on Trace objects is unsupported; pass the "
+                "flattened instructions"
+            )
+        instructions = (
+            parse_trace(source) if isinstance(source, str) else list(source)
+        )
+        source, _ = _optimize(instructions, live_out=live_out)
+
+    dag = build_dag(source, live_out=live_out)
+    allocation: Optional[AllocationResult] = None
+
+    if method in _URSA_POLICIES:
+        from repro.core.assignment import assign
+
+        allocation = URSAAllocator(machine, _URSA_POLICIES[method]).run(dag)
+        schedule = assign(
+            allocation.dag, machine, allocation, backend=assignment
+        ).schedule
+        final_dag = allocation.dag
+    elif method == "prepass":
+        schedule = compile_prepass(dag, machine)
+        final_dag = dag
+    elif method == "postpass":
+        schedule = compile_postpass(dag, machine)
+        final_dag = dag
+    elif method == "goodman-hsu":
+        schedule = compile_goodman_hsu(dag, machine)
+        final_dag = dag
+    else:  # naive: allocate on source order, pack without reordering
+        order = dag.source_order or sorted(dag.op_nodes())
+        source_insts = [dag.instruction(uid) for uid in order]
+        live_ins = sorted(
+            name for name, d in dag.value_defs.items() if d == dag.entry
+        )
+        outcome = LinearScanAllocator(machine).run(
+            source_insts, live_ins=live_ins, live_outs=sorted(dag.live_out)
+        )
+        schedule = pack_in_order(outcome.instructions, machine, outcome)
+        final_dag = dag
+
+    program = lower_schedule(schedule)
+
+    simulation: Optional[SimulationResult] = None
+    verified: Optional[bool] = None
+    if verify:
+        init_memory = memory if memory is not None else synthesize_memory(dag, seed)
+        simulation, verified = _verify(
+            dag, program, machine, init_memory, schedule.live_out_regs
+        )
+        if not verified:
+            raise PipelineError(
+                f"{method} on {machine.name}: simulated memory diverges "
+                "from the reference interpreter"
+            )
+
+    stats = ScheduleStats.collect(
+        method, schedule, program, simulation, verified
+    )
+    return CompilationResult(
+        method=method,
+        machine=machine,
+        dag=final_dag,
+        schedule=schedule,
+        program=program,
+        allocation=allocation,
+        simulation=simulation,
+        verified=verified,
+        stats=stats,
+    )
+
+
+def compare_methods(
+    source: Union[str, Sequence[Instruction], Trace, DependenceDAG],
+    machine: MachineModel,
+    methods: Sequence[str] = ("ursa", "prepass", "postpass", "goodman-hsu"),
+    **kwargs,
+) -> Dict[str, CompilationResult]:
+    """Compile the same trace with several methods (shared inputs)."""
+    dag = build_dag(source, live_out=kwargs.pop("live_out", ()))
+    return {
+        method: compile_trace(dag, machine, method=method, **kwargs)
+        for method in methods
+    }
+
+
+# ----------------------------------------------------------------------
+# Verification plumbing.
+# ----------------------------------------------------------------------
+def synthesize_memory(dag: DependenceDAG, seed: int = 0) -> MemoryState:
+    """Deterministic nonzero contents for every cell the trace loads."""
+    memory: MemoryState = {}
+    for uid in dag.op_nodes():
+        inst = dag.instruction(uid)
+        if inst.op is Opcode.LOAD and inst.addr is not None:
+            cell = (inst.addr.base, inst.addr.offset)
+            if cell not in memory:
+                digest = hashlib.sha256(
+                    f"{seed}:{cell[0]}:{cell[1]}".encode()
+                ).digest()
+                value = int.from_bytes(digest[:2], "big") % 97 + 2
+                memory[cell] = value
+    return memory
+
+
+def _reference_memory(
+    dag: DependenceDAG,
+    memory: MemoryState,
+    live_in_values: Dict[str, int],
+) -> Tuple[MemoryState, Dict[str, int]]:
+    """Interpret the DAG's instructions in a legal sequential order."""
+    interpreter = Interpreter(memory)
+    result = interpreter.run_trace(dag.linearize(), env=live_in_values)
+    return result.memory, result.env
+
+
+def verify_program(
+    dag: DependenceDAG,
+    program: VLIWProgram,
+    machine: MachineModel,
+    memory: MemoryState,
+    live_out_regs: Optional[Dict[str, "object"]] = None,
+) -> Tuple[SimulationResult, bool]:
+    """Simulate ``program`` and compare it against the interpreter.
+
+    Checks (a) final user-visible memory (spill slots excluded) and
+    (b) when ``live_out_regs`` is given, that each live-out value sits
+    in its advertised register.
+    """
+    live_in_names = {
+        name for name, d in dag.value_defs.items() if d == dag.entry
+    }
+    live_in_values = {name: _live_in_value(name, memory) for name in live_in_names}
+    expected_memory, env = _reference_memory(dag, memory, live_in_values)
+
+    simulator = VLIWSimulator(machine, memory)
+    simulation = simulator.run(
+        program,
+        live_in_values={
+            name: live_in_values[name] for name in program.live_in_regs
+        },
+    )
+
+    observed = {
+        cell: value
+        for cell, value in simulation.memory.items()
+        if not cell[0].startswith("%")  # ignore compiler spill slots
+    }
+    expected = {
+        cell: value
+        for cell, value in expected_memory.items()
+        if not cell[0].startswith("%")
+    }
+    ok = observed == expected
+
+    if ok and live_out_regs:
+        for name, reg in live_out_regs.items():
+            want = env.get(name)
+            got = simulation.registers[reg.cls][reg.index]
+            if want != got:
+                ok = False
+                break
+    return simulation, ok
+
+
+def _verify(
+    dag: DependenceDAG,
+    program: VLIWProgram,
+    machine: MachineModel,
+    memory: MemoryState,
+    live_out_regs: Optional[Dict[str, "object"]] = None,
+) -> Tuple[SimulationResult, bool]:
+    return verify_program(dag, program, machine, memory, live_out_regs)
+
+
+def _live_in_value(name: str, memory: MemoryState) -> int:
+    digest = hashlib.sha256(f"livein:{name}".encode()).digest()
+    return int.from_bytes(digest[:2], "big") % 89 + 3

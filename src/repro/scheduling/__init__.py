@@ -1,0 +1,42 @@
+"""Scheduling substrate and the baseline compilers."""
+
+from repro.scheduling.goodman_hsu import compile_goodman_hsu
+from repro.scheduling.list_scheduler import (
+    SPILL_BASE,
+    ListScheduler,
+    Schedule,
+    ScheduledOp,
+    ScheduleError,
+)
+from repro.scheduling.packer import pack_in_order
+from repro.scheduling.postpass import add_register_reuse_edges, compile_postpass
+from repro.scheduling.prepass import compile_prepass
+from repro.scheduling.priorities import (
+    latency_weighted_height,
+    source_order_priority,
+)
+from repro.scheduling.regalloc import (
+    AllocationOutcome,
+    LinearScanAllocator,
+    RegAllocError,
+    color_registers,
+)
+
+__all__ = [
+    "AllocationOutcome",
+    "LinearScanAllocator",
+    "ListScheduler",
+    "RegAllocError",
+    "SPILL_BASE",
+    "Schedule",
+    "ScheduleError",
+    "ScheduledOp",
+    "add_register_reuse_edges",
+    "color_registers",
+    "compile_goodman_hsu",
+    "compile_postpass",
+    "compile_prepass",
+    "latency_weighted_height",
+    "pack_in_order",
+    "source_order_priority",
+]

@@ -1,0 +1,36 @@
+"""Goodman–Hsu DAG-driven integrated baseline [GoH88].
+
+Goodman and Hsu's "Code Scheduling and Register Allocation in Large
+Basic Blocks" interleaves the two problems inside one list-scheduling
+pass: while plenty of registers are free the scheduler runs in CSP mode
+(code scheduling priority — pure critical path); when the free-register
+count drops below a threshold it switches to CSR mode (code scheduling
+to reduce register pressure), preferring ready ops that free registers
+over ops that allocate new ones.  The paper notes this technique has no
+spill-insertion mechanism of its own; our implementation falls back to
+the shared emergency spiller when CSR mode cannot avoid exhaustion.
+"""
+
+from __future__ import annotations
+
+from repro.graph.dag import DependenceDAG
+from repro.machine.model import MachineModel
+from repro.scheduling.list_scheduler import ListScheduler, Schedule
+
+#: Default AVLREG threshold for switching CSP -> CSR, per [GoH88].
+DEFAULT_THRESHOLD = 2
+
+
+def compile_goodman_hsu(
+    dag: DependenceDAG,
+    machine: MachineModel,
+    threshold: int = DEFAULT_THRESHOLD,
+) -> Schedule:
+    """Integrated scheduling with CSP/CSR mode switching."""
+    return ListScheduler(
+        dag,
+        machine,
+        respect_registers=True,
+        allow_spill=True,
+        pressure_threshold=threshold,
+    ).run()

@@ -1,0 +1,229 @@
+"""Exact optimal scheduling for small DAGs (evaluation oracle).
+
+Dynamic programming over scheduled-set bitmasks gives, for DAGs of up
+to ~16 ops:
+
+* :func:`optimal_schedule_length` — the minimum number of cycles any
+  schedule needs under the machine's FU counts and (optionally) its
+  register file, with no spilling;
+* :func:`minimum_register_schedule` — the minimum register file size
+  for which a spill-free schedule exists (the true best case, against
+  which the paper's worst-case measurement can be compared).
+
+Both assume unit latencies (the paper's base model).  These oracles are
+exponential by design and exist to evaluate the heuristics; the library
+never calls them on production paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.graph.dag import DependenceDAG
+from repro.machine.model import MachineModel
+
+
+class OptimalSearchError(Exception):
+    """The instance is too large or the machine unsupported."""
+
+
+#: Default cap on op count (2^n DP states).
+MAX_OPS = 16
+
+
+@dataclass(frozen=True)
+class _Problem:
+    """Preprocessed DAG facts for the bitmask DP."""
+
+    n: int
+    preds: Tuple[int, ...]           # predecessor mask per op index
+    fu_class: Tuple[str, ...]        # class name per op index
+    fu_limit: Dict[str, int]
+    defines: Tuple[bool, ...]        # op defines a register value
+    users: Tuple[int, ...]           # mask of ops reading op i's value
+    live_out: Tuple[bool, ...]       # value needed after the trace
+
+
+def _build_problem(
+    dag: DependenceDAG,
+    machine: MachineModel,
+    max_ops: int = MAX_OPS,
+) -> _Problem:
+    ops = dag.op_nodes()
+    if len(ops) > max_ops:
+        raise OptimalSearchError(
+            f"{len(ops)} ops exceed the exact-search cap of {max_ops}"
+        )
+    for fu in machine.fu_classes:
+        if fu.latency != 1:
+            raise OptimalSearchError("exact search assumes unit latencies")
+    index = {uid: i for i, uid in enumerate(ops)}
+
+    preds = [0] * len(ops)
+    for uid in ops:
+        for pred in dag.preds(uid):
+            if pred in index:
+                preds[index[uid]] |= 1 << index[pred]
+
+    users = [0] * len(ops)
+    live_out = [False] * len(ops)
+    defines = [False] * len(ops)
+    for uid in ops:
+        inst = dag.instruction(uid)
+        if inst.dest is None:
+            continue
+        defines[index[uid]] = True
+        for use in dag.value_uses.get(inst.dest, ()):
+            if use in index:
+                users[index[uid]] |= 1 << index[use]
+            elif use == dag.exit:
+                live_out[index[uid]] = True
+
+    fu_class = tuple(
+        machine.fu_class_for(dag.instruction(uid).op).name for uid in ops
+    )
+    fu_limit = {fu.name: fu.count for fu in machine.fu_classes}
+    return _Problem(
+        n=len(ops),
+        preds=tuple(preds),
+        fu_class=fu_class,
+        fu_limit=fu_limit,
+        defines=tuple(defines),
+        users=tuple(users),
+        live_out=tuple(live_out),
+    )
+
+
+def _live_count(problem: _Problem, mask: int) -> int:
+    """Registers held once exactly ``mask`` has issued."""
+    live = 0
+    for i in range(problem.n):
+        if not problem.defines[i] or not (mask >> i) & 1:
+            continue
+        pending = problem.users[i] & ~mask
+        if pending or problem.live_out[i]:
+            live += 1
+    return live
+
+
+def _ready_list(problem: _Problem, mask: int) -> List[int]:
+    return [
+        i
+        for i in range(problem.n)
+        if not (mask >> i) & 1 and (problem.preds[i] & ~mask) == 0
+    ]
+
+
+def _issue_sets(problem: _Problem, ready: Sequence[int]):
+    """All nonempty ready subsets respecting per-class FU counts."""
+    for size in range(min(len(ready), sum(problem.fu_limit.values())), 0, -1):
+        for subset in combinations(ready, size):
+            counts: Dict[str, int] = {}
+            ok = True
+            for i in subset:
+                cls = problem.fu_class[i]
+                counts[cls] = counts.get(cls, 0) + 1
+                if counts[cls] > problem.fu_limit[cls]:
+                    ok = False
+                    break
+            if ok:
+                yield subset
+
+
+def optimal_schedule_length(
+    dag: DependenceDAG,
+    machine: MachineModel,
+    respect_registers: bool = True,
+    max_ops: int = MAX_OPS,
+) -> Optional[int]:
+    """Minimum cycles over all schedules; None when no spill-free
+    schedule fits the register file."""
+    problem = _build_problem(dag, machine, max_ops)
+    registers = machine.registers.get("gpr", sum(machine.registers.values()))
+    full = (1 << problem.n) - 1
+    INF = 1 << 30
+
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def best(mask: int) -> int:
+        if mask == full:
+            return 0
+        ready = _ready_list(problem, mask)
+        if not ready:
+            return INF  # unreachable in an acyclic DAG
+        result = INF
+        for subset in _issue_sets(problem, ready):
+            new_mask = mask
+            for i in subset:
+                new_mask |= 1 << i
+            if respect_registers and _live_count(problem, new_mask) > registers:
+                continue
+            tail = best(new_mask)
+            if tail + 1 < result:
+                result = tail + 1
+                if result == _cycles_lower_bound(problem, mask):
+                    break  # cannot do better from this state
+        return result
+
+    value = best(0)
+    best.cache_clear()
+    return None if value >= INF else value
+
+
+def _cycles_lower_bound(problem: _Problem, mask: int) -> int:
+    remaining = problem.n - bin(mask).count("1")
+    width = sum(problem.fu_limit.values())
+    return max(1, -(-remaining // width))
+
+
+def minimum_register_schedule(
+    dag: DependenceDAG,
+    machine: Optional[MachineModel] = None,
+    max_ops: int = MAX_OPS,
+) -> int:
+    """The fewest registers for which *some* spill-free schedule exists.
+
+    Pressure is *not* a pure order property on a VLIW: co-issuing the
+    last uses of several values with several new definitions lets the
+    newcomers take over the dying registers atomically (reads happen at
+    issue, writes at the end of the cycle), which no sequential order
+    can imitate.  The minimum therefore depends on the issue width; by
+    default an unbounded-width machine is assumed (the absolute best
+    case).  Computed by binary search over the feasibility oracle.
+    """
+    if machine is None:
+        n_ops = max(1, len(dag.op_nodes()))
+        machine = MachineModel.homogeneous(n_ops, 1)
+
+    low, high = 1, max(1, len(dag.op_nodes()))
+    # Ensure the upper end is feasible before searching.
+    while _feasible_with(dag, machine, high, max_ops) is None:
+        high *= 2
+        if high > 4 * len(dag.op_nodes()) + 8:
+            raise OptimalSearchError("no spill-free schedule at any size")
+    while low < high:
+        mid = (low + high) // 2
+        if _feasible_with(dag, machine, mid, max_ops) is not None:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def _feasible_with(
+    dag: DependenceDAG,
+    machine: MachineModel,
+    registers: int,
+    max_ops: int,
+) -> Optional[int]:
+    probe = MachineModel(
+        name=f"{machine.name}-probe{registers}",
+        fu_classes=machine.fu_classes,
+        registers={"gpr": registers},
+        reg_class_of=lambda name: "gpr",
+    )
+    return optimal_schedule_length(dag, probe, max_ops=max_ops)

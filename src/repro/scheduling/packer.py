@@ -1,0 +1,98 @@
+"""Order-preserving VLIW packing.
+
+Places an already-ordered, already-register-allocated instruction list
+into VLIW words without reordering: each op issues at the earliest cycle
+that is (a) no earlier than its predecessor in the list, (b) after its
+operands' writebacks, (c) on a free unit of its class, and (d) after any
+conflicting memory access.  This models the *prepass* baseline's
+"patch spill code into the fixed schedule" step, and doubles as a naive
+source-order compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.instructions import Instruction
+from repro.machine.model import MachineModel
+from repro.machine.vliw import RegRef
+from repro.scheduling.list_scheduler import Schedule, ScheduledOp, ScheduleError
+from repro.scheduling.regalloc import AllocationOutcome
+
+
+def pack_in_order(
+    instructions: Sequence[Instruction],
+    machine: MachineModel,
+    allocation: AllocationOutcome,
+) -> Schedule:
+    """Pack ``instructions`` (in order) into the fewest cycles possible
+    without reordering, using ``allocation``'s register binding."""
+    fu_free_at: Dict[Tuple[str, int], int] = {
+        (fu.name, i): 0 for fu in machine.fu_classes for i in range(fu.count)
+    }
+    value_ready: Dict[str, int] = {name: 0 for name in allocation.live_in_regs}
+    last_mem_touch: Dict[Tuple[str, int], int] = {}
+    floor = 0  # monotonic issue cycles preserve program order
+    ops: List[ScheduledOp] = []
+    spills = 0
+
+    for inst in instructions:
+        if inst.is_pseudo:
+            continue
+        earliest = floor
+        for name in inst.uses():
+            if name not in value_ready:
+                raise ScheduleError(f"value {name!r} used before definition")
+            earliest = max(earliest, value_ready[name])
+        if inst.is_memory:
+            cell = (inst.addr.base, inst.addr.offset)
+            conflicts = [
+                cycle
+                for (base, offset), cycle in last_mem_touch.items()
+                if base == cell[0] and offset == cell[1]
+            ]
+            if conflicts:
+                earliest = max(earliest, max(conflicts) + 1)
+
+        fu = machine.fu_class_for(inst.op)
+        cycle, index = _first_slot(fu.name, fu.count, earliest, fu_free_at)
+        fu_free_at[(fu.name, index)] = cycle + fu.occupancy
+
+        ops.append(ScheduledOp(inst, cycle, fu.name, index, inst.uid))
+        floor = cycle
+        if inst.dest is not None:
+            value_ready[inst.dest] = cycle + fu.latency
+        if inst.is_memory:
+            last_mem_touch[(inst.addr.base, inst.addr.offset)] = cycle
+        if inst.is_spill_code:
+            spills += 1
+
+    length = 0
+    for op in ops:
+        length = max(
+            length, op.cycle + machine.fu_class_for(op.inst.op).latency
+        )
+    return Schedule(
+        machine=machine,
+        ops=ops,
+        length=length,
+        reg_assignment=dict(allocation.binding),
+        live_in_regs=dict(allocation.live_in_regs),
+        live_out_regs=dict(allocation.live_out_regs),
+        spill_count=allocation.spill_stores,
+    )
+
+
+def _first_slot(
+    fu_name: str,
+    count: int,
+    earliest: int,
+    fu_free_at: Dict[Tuple[str, int], int],
+) -> Tuple[int, int]:
+    """Earliest (cycle, unit index) at/after ``earliest`` for the class."""
+    cycle = earliest
+    while True:
+        for index in range(count):
+            if fu_free_at[(fu_name, index)] <= cycle:
+                return cycle, index
+        cycle += 1

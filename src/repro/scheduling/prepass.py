@@ -1,0 +1,42 @@
+"""Prepass baseline: schedule first, allocate registers afterwards.
+
+This is the phase ordering the paper's introduction criticizes from one
+side: the list scheduler maximizes parallelism with no register
+awareness, then a linear allocator must patch spill code into the fixed
+order, lengthening the schedule exactly where resources were already
+tight.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.dag import DependenceDAG
+from repro.machine.model import MachineModel
+from repro.scheduling.list_scheduler import ListScheduler, Schedule
+from repro.scheduling.packer import pack_in_order
+from repro.scheduling.regalloc import LinearScanAllocator
+
+
+def compile_prepass(dag: DependenceDAG, machine: MachineModel) -> Schedule:
+    """Schedule ignoring registers, then allocate and patch spills."""
+    unconstrained = ListScheduler(
+        dag, machine, respect_registers=False
+    ).run()
+
+    # Linearize the schedule: cycle order, then slot order — the order
+    # the allocator must respect when patching spills in.
+    ordered = sorted(
+        unconstrained.ops, key=lambda op: (op.cycle, op.fu_class, op.fu_index)
+    )
+    instructions = [op.inst for op in ordered]
+
+    live_ins = sorted(
+        name
+        for name, def_uid in dag.value_defs.items()
+        if def_uid == dag.entry
+    )
+    allocation = LinearScanAllocator(machine).run(
+        instructions, live_ins=live_ins, live_outs=sorted(dag.live_out)
+    )
+    return pack_in_order(allocation.instructions, machine, allocation)

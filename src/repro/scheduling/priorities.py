@@ -1,0 +1,40 @@
+"""Scheduling priority functions (critical-path heights etc.)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.graph.dag import DependenceDAG
+from repro.ir.instructions import Instruction
+from repro.machine.model import MachineModel
+
+
+def latency_weighted_height(
+    dag: DependenceDAG,
+    machine: Optional[MachineModel] = None,
+) -> Dict[int, int]:
+    """Longest latency-weighted path from each node to EXIT.
+
+    The classic list-scheduling priority: nodes on the critical path get
+    the highest values.
+    """
+    if machine is None:
+        lat: Callable[[Instruction], int] = lambda inst: 0 if inst.is_pseudo else 1
+    else:
+        lat = machine.latency_of
+    height: Dict[int, int] = {}
+    for uid in reversed(dag.topological_order()):
+        succs = dag.succs(uid)
+        base = lat(dag.instruction(uid))
+        if not succs:
+            height[uid] = base
+        else:
+            height[uid] = base + max(height[s] for s in succs)
+    return height
+
+
+def source_order_priority(dag: DependenceDAG) -> Dict[int, int]:
+    """Priority that mimics original program order (earlier = higher)."""
+    order = dag.topological_order()
+    n = len(order)
+    return {uid: n - i for i, uid in enumerate(order)}

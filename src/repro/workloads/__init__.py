@@ -1,0 +1,53 @@
+"""Workload generators: random DAG traces and the named kernel suite."""
+
+from repro.workloads.kernels import (
+    KERNELS,
+    bitonic_network,
+    fft8_stage,
+    fir_filter,
+    matvec,
+    dot_product,
+    estrin,
+    fft_butterfly,
+    horner,
+    kernel,
+    livermore_hydro,
+    matmul_block,
+    paper_figure2,
+    saxpy,
+    stencil5,
+    tridiag_forward,
+)
+from repro.workloads.random_programs import random_structured_program
+from repro.workloads.random_dags import (
+    SAFE_BINARY_OPS,
+    random_expression_tree,
+    random_layered_trace,
+    random_series_parallel,
+    random_wide_trace,
+)
+
+__all__ = [
+    "KERNELS",
+    "bitonic_network",
+    "fft8_stage",
+    "fir_filter",
+    "matvec",
+    "SAFE_BINARY_OPS",
+    "dot_product",
+    "estrin",
+    "fft_butterfly",
+    "horner",
+    "kernel",
+    "livermore_hydro",
+    "matmul_block",
+    "paper_figure2",
+    "random_expression_tree",
+    "random_layered_trace",
+    "random_structured_program",
+    "random_series_parallel",
+    "random_wide_trace",
+    "saxpy",
+    "stencil5",
+    "tridiag_forward",
+]

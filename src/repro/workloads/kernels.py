@@ -1,0 +1,272 @@
+"""The named kernel suite used by the benchmark harness.
+
+Small numeric kernels of the kind the VLIW literature of the era
+evaluated on (unrolled vector loops, FFT butterflies, polynomial
+evaluation, blocked matrix multiply, stencils, Livermore-style loop
+bodies).  Every kernel is a straight-line trace whose inputs are loads
+and whose results are stores, so the full compile can be verified.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ir.builder import TraceBuilder
+from repro.ir.instructions import Instruction
+
+
+def dot_product(unroll: int = 4) -> List[Instruction]:
+    """Unrolled dot product: sum += a[i] * b[i] for one unrolled body."""
+    b = TraceBuilder()
+    terms = []
+    for i in range(unroll):
+        a_i = b.load("a", offset=i)
+        b_i = b.load("b", offset=i)
+        terms.append(b.mul(a_i, b_i))
+    total = terms[0]
+    for term in terms[1:]:
+        total = b.add(total, term)
+    b.store("sum", total)
+    return b.build()
+
+
+def fft_butterfly(pairs: int = 2) -> List[Instruction]:
+    """Radix-2 FFT butterflies on ``pairs`` complex pairs.
+
+    Integer twiddles stand in for the trig constants: the data flow (the
+    thing URSA cares about) is identical to the floating-point kernel.
+    """
+    b = TraceBuilder()
+    for p in range(pairs):
+        ar = b.load("ar", offset=p)
+        ai = b.load("ai", offset=p)
+        br = b.load("br", offset=p)
+        bi = b.load("bi", offset=p)
+        wr = b.load("wr", offset=p)
+        wi = b.load("wi", offset=p)
+        # t = w * b (complex multiply)
+        tr = b.sub(b.mul(wr, br), b.mul(wi, bi))
+        ti = b.add(b.mul(wr, bi), b.mul(wi, br))
+        # out0 = a + t ; out1 = a - t
+        b.store("xr", b.add(ar, tr), offset=p)
+        b.store("xi", b.add(ai, ti), offset=p)
+        b.store("yr", b.sub(ar, tr), offset=p)
+        b.store("yi", b.sub(ai, ti), offset=p)
+    return b.build()
+
+
+def horner(degree: int = 7) -> List[Instruction]:
+    """Horner evaluation of a degree-``degree`` polynomial: a serial
+    dependence chain (hard lower bound for any scheduler)."""
+    b = TraceBuilder()
+    x = b.load("x")
+    acc = b.load("c", offset=degree)
+    for i in range(degree - 1, -1, -1):
+        c_i = b.load("c", offset=i)
+        acc = b.add(b.mul(acc, x), c_i)
+    b.store("p", acc)
+    return b.build()
+
+
+def estrin(degree: int = 7) -> List[Instruction]:
+    """Estrin's scheme for the same polynomial: the parallel variant of
+    :func:`horner`, trading registers for critical-path length."""
+    b = TraceBuilder()
+    x = b.load("x")
+    coeffs = [b.load("c", offset=i) for i in range(degree + 1)]
+    power = x
+    while len(coeffs) > 1:
+        folded = []
+        for i in range(0, len(coeffs) - 1, 2):
+            folded.append(b.add(coeffs[i], b.mul(coeffs[i + 1], power)))
+        if len(coeffs) % 2:
+            folded.append(coeffs[-1])
+        coeffs = folded
+        if len(coeffs) > 1:
+            power = b.mul(power, power)
+    b.store("p", coeffs[0])
+    return b.build()
+
+
+def matmul_block(n: int = 2) -> List[Instruction]:
+    """An ``n`` x ``n`` matrix-multiply block, fully unrolled."""
+    b = TraceBuilder()
+    a = {(i, j): b.load("A", offset=i * n + j) for i in range(n) for j in range(n)}
+    bm = {(i, j): b.load("B", offset=i * n + j) for i in range(n) for j in range(n)}
+    for i in range(n):
+        for j in range(n):
+            acc = b.mul(a[(i, 0)], bm[(0, j)])
+            for k in range(1, n):
+                acc = b.add(acc, b.mul(a[(i, k)], bm[(k, j)]))
+            b.store("C", acc, offset=i * n + j)
+    return b.build()
+
+
+def stencil5(points: int = 3) -> List[Instruction]:
+    """1-D 5-point stencil over ``points`` output cells."""
+    b = TraceBuilder()
+    loads = {i: b.load("u", offset=i) for i in range(points + 4)}
+    c0 = b.const(4)
+    for p in range(points):
+        center = b.mul(loads[p + 2], c0)
+        side = b.add(
+            b.add(loads[p], loads[p + 4]),
+            b.add(loads[p + 1], loads[p + 3]),
+        )
+        b.store("v", b.sub(center, side), offset=p)
+    return b.build()
+
+
+def livermore_hydro(unroll: int = 3) -> List[Instruction]:
+    """Livermore loop 1 (hydro fragment): x[k] = q + y[k]*(r*z[k+10] +
+    t*z[k+11]), unrolled ``unroll`` times with integer stand-ins."""
+    b = TraceBuilder()
+    q = b.load("q")
+    r = b.load("r")
+    t = b.load("t")
+    for k in range(unroll):
+        y_k = b.load("y", offset=k)
+        z10 = b.load("z", offset=k + 10)
+        z11 = b.load("z", offset=k + 11)
+        inner = b.add(b.mul(r, z10), b.mul(t, z11))
+        b.store("x", b.add(q, b.mul(y_k, inner)), offset=k)
+    return b.build()
+
+
+def saxpy(unroll: int = 4) -> List[Instruction]:
+    """Unrolled saxpy: y[i] += a * x[i]."""
+    b = TraceBuilder()
+    a = b.load("alpha")
+    for i in range(unroll):
+        x_i = b.load("x", offset=i)
+        y_i = b.load("y", offset=i)
+        b.store("y", b.add(y_i, b.mul(a, x_i)), offset=i)
+    return b.build()
+
+
+def tridiag_forward(unroll: int = 3) -> List[Instruction]:
+    """Forward elimination step of a tridiagonal solve — a recurrence
+    with short parallel side chains (Livermore loop 5 flavour)."""
+    b = TraceBuilder()
+    carry = b.load("x", offset=0)
+    for i in range(1, unroll + 1):
+        a_i = b.load("a", offset=i)
+        b_i = b.load("b", offset=i)
+        carry = b.sub(b_i, b.mul(a_i, carry))
+        b.store("x", carry, offset=i)
+    return b.build()
+
+
+def fir_filter(taps: int = 4, outputs: int = 3) -> List[Instruction]:
+    """FIR filter: y[n] = sum_k c[k] * x[n+k], fully unrolled.
+
+    Coefficients are shared across output points — long live ranges that
+    stress the register measurement (and reward rematerialization).
+    """
+    b = TraceBuilder()
+    coeffs = [b.load("c", offset=k) for k in range(taps)]
+    for n in range(outputs):
+        samples = [b.load("x", offset=n + k) for k in range(taps)]
+        acc = b.mul(coeffs[0], samples[0])
+        for k in range(1, taps):
+            acc = b.add(acc, b.mul(coeffs[k], samples[k]))
+        b.store("y", acc, offset=n)
+    return b.build()
+
+
+def fft8_stage() -> List[Instruction]:
+    """One stage of an 8-point decimation-in-time FFT (real parts only,
+    integer twiddles): four butterflies sharing a twiddle table."""
+    b = TraceBuilder()
+    w = [b.load("w", offset=i) for i in range(2)]
+    for pair in range(4):
+        lo = b.load("x", offset=pair)
+        hi = b.load("x", offset=pair + 4)
+        twiddle = w[pair % 2]
+        t = b.mul(hi, twiddle)
+        b.store("out", b.add(lo, t), offset=pair)
+        b.store("out", b.sub(lo, t), offset=pair + 4)
+    return b.build()
+
+
+def bitonic_network(width: int = 4) -> List[Instruction]:
+    """A bitonic-style compare-exchange network over ``width`` inputs:
+    min/max pairs in log-depth stages (pure ALU parallelism)."""
+    b = TraceBuilder()
+    values = [b.load("v", offset=i) for i in range(width)]
+    stride = width // 2
+    while stride >= 1:
+        next_values = list(values)
+        for i in range(0, width, 2 * stride):
+            for j in range(i, min(i + stride, width - stride)):
+                lo, hi = values[j], values[j + stride]
+                next_values[j] = b.min(lo, hi)
+                next_values[j + stride] = b.max(lo, hi)
+        values = next_values
+        stride //= 2
+    for i, name in enumerate(values):
+        b.store("out", name, offset=i)
+    return b.build()
+
+
+def matvec(rows: int = 3, cols: int = 3) -> List[Instruction]:
+    """Dense matrix-vector product, fully unrolled; the vector loads are
+    shared across rows."""
+    b = TraceBuilder()
+    vector = [b.load("v", offset=j) for j in range(cols)]
+    for i in range(rows):
+        acc = b.mul(b.load("M", offset=i * cols), vector[0])
+        for j in range(1, cols):
+            acc = b.add(acc, b.mul(b.load("M", offset=i * cols + j), vector[j]))
+        b.store("r", acc, offset=i)
+    return b.build()
+
+
+def paper_figure2() -> List[Instruction]:
+    """The exact example block from the paper's Figure 2."""
+    b = TraceBuilder()
+    v = b.load("v", name="A")
+    w = b.mul(v, 2, name="B")
+    x = b.mul(v, 3, name="C")
+    y = b.add(v, 5, name="D")
+    t1 = b.add(w, x, name="E")
+    t2 = b.mul(w, x, name="F")
+    t3 = b.mul(y, 2, name="G")
+    t4 = b.div(y, 3, name="H")
+    t5 = b.div(t1, t2, name="I")
+    t6 = b.add(t3, t4, name="J")
+    z = b.add(t5, t6, name="K")
+    b.store("z", z)
+    return b.build()
+
+
+#: Kernel registry: name -> zero/one-arg factory.
+KernelFactory = Callable[..., List[Instruction]]
+
+KERNELS: Dict[str, KernelFactory] = {
+    "dot-product": dot_product,
+    "fir": fir_filter,
+    "fft8-stage": fft8_stage,
+    "bitonic": bitonic_network,
+    "matvec": matvec,
+    "fft-butterfly": fft_butterfly,
+    "horner": horner,
+    "estrin": estrin,
+    "matmul": matmul_block,
+    "stencil5": stencil5,
+    "hydro": livermore_hydro,
+    "saxpy": saxpy,
+    "tridiag": tridiag_forward,
+    "figure2": paper_figure2,
+}
+
+
+def kernel(name: str, **kwargs) -> List[Instruction]:
+    """Instantiate a kernel from the registry by name."""
+    try:
+        factory = KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None
+    return factory(**kwargs)

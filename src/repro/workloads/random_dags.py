@@ -1,0 +1,156 @@
+"""Random trace generators for stress-testing and benchmarking.
+
+All generators are deterministic in their ``seed`` and produce
+semantically checkable traces: leaf values come from loads of distinct
+input cells and every sink value is stored to a distinct output cell, so
+the interpreter/simulator comparison covers the whole computation.
+Division is excluded from the random op pool to keep every input
+assignment well-defined.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.ir.builder import TraceBuilder
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+
+#: Opcodes safe on arbitrary integer inputs.
+SAFE_BINARY_OPS: Sequence[Opcode] = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.MIN,
+    Opcode.MAX,
+)
+
+
+def random_layered_trace(
+    n_ops: int = 32,
+    width: int = 6,
+    seed: int = 0,
+    n_inputs: Optional[int] = None,
+    ops: Sequence[Opcode] = SAFE_BINARY_OPS,
+    locality: float = 0.7,
+) -> List[Instruction]:
+    """A layered random DAG rendered as a trace.
+
+    ``width`` values are live per layer on average; ``locality`` is the
+    probability an operand comes from the most recent ``width`` values
+    (else anywhere earlier), which controls live-range lengths.
+    """
+    rng = random.Random(seed)
+    builder = TraceBuilder()
+    n_inputs = n_inputs if n_inputs is not None else max(2, width)
+
+    produced: List[str] = [
+        builder.load("in", offset=i) for i in range(n_inputs)
+    ]
+    consumed = [0] * len(produced)
+
+    for _ in range(n_ops):
+        op = rng.choice(list(ops))
+
+        def pick() -> int:
+            if rng.random() < locality:
+                lo = max(0, len(produced) - width)
+                return rng.randrange(lo, len(produced))
+            return rng.randrange(len(produced))
+
+        a, b = pick(), pick()
+        consumed[a] += 1
+        consumed[b] += 1
+        produced.append(builder.binary(op, produced[a], produced[b]))
+        consumed.append(0)
+
+    sinks = [name for name, uses in zip(produced, consumed) if uses == 0]
+    for offset, name in enumerate(sinks):
+        builder.store("out", name, offset=offset)
+    return builder.build()
+
+
+def random_expression_tree(
+    depth: int = 4,
+    seed: int = 0,
+    ops: Sequence[Opcode] = SAFE_BINARY_OPS,
+) -> List[Instruction]:
+    """A complete binary expression tree: 2**depth leaf loads reduced to
+    one stored root — maximal parallelism at the leaves."""
+    rng = random.Random(seed)
+    builder = TraceBuilder()
+    level = [builder.load("in", offset=i) for i in range(1 << depth)]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level), 2):
+            nxt.append(builder.binary(rng.choice(list(ops)), level[i], level[i + 1]))
+        level = nxt
+    builder.store("out", level[0])
+    return builder.build()
+
+
+def random_series_parallel(
+    n_blocks: int = 4,
+    block_width: int = 4,
+    block_depth: int = 3,
+    seed: int = 0,
+    ops: Sequence[Opcode] = SAFE_BINARY_OPS,
+) -> List[Instruction]:
+    """Alternating fan-out/fan-in structure: ``n_blocks`` independent
+    diamonds chained in series — a natural source of nested hammocks."""
+    rng = random.Random(seed)
+    builder = TraceBuilder()
+    carry = builder.load("in", offset=0)
+    for block in range(n_blocks):
+        legs: List[str] = []
+        for leg in range(block_width):
+            value = carry
+            for _ in range(block_depth):
+                operand = rng.choice(
+                    [value, builder.const(rng.randrange(1, 9))]
+                )
+                value = builder.binary(rng.choice(list(ops)), value, operand)
+            legs.append(value)
+        while len(legs) > 1:
+            merged = []
+            for i in range(0, len(legs) - 1, 2):
+                merged.append(
+                    builder.binary(rng.choice(list(ops)), legs[i], legs[i + 1])
+                )
+            if len(legs) % 2:
+                merged.append(legs[-1])
+            legs = merged
+        carry = legs[0]
+    builder.store("out", carry)
+    return builder.build()
+
+
+def random_wide_trace(
+    n_chains: int = 6,
+    chain_length: int = 4,
+    seed: int = 0,
+    ops: Sequence[Opcode] = SAFE_BINARY_OPS,
+) -> List[Instruction]:
+    """``n_chains`` independent dependence chains merged at the end —
+    worst case for register pressure, best case for FU parallelism."""
+    rng = random.Random(seed)
+    builder = TraceBuilder()
+    heads = []
+    for chain in range(n_chains):
+        value = builder.load("in", offset=chain)
+        for _ in range(chain_length - 1):
+            value = builder.binary(
+                rng.choice(list(ops)),
+                value,
+                builder.const(rng.randrange(1, 9)),
+            )
+        heads.append(value)
+    total = heads[0]
+    for other in heads[1:]:
+        total = builder.add(total, other)
+    builder.store("out", total)
+    return builder.build()

@@ -1,0 +1,65 @@
+"""Shared fixtures: the paper's running example and common machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.dag import DependenceDAG
+from repro.ir.parser import parse_trace
+from repro.machine.model import MachineModel
+
+#: The paper's Figure 2 basic block (plus a store making K observable).
+FIGURE2_SOURCE = """
+A = load [v]
+B = A * 2
+C = A * 3
+D = A + 5
+E = B + C
+F = B * C
+G = D * 2
+H = D / 3
+I = E / F
+J = G + H
+K = I + J
+store [z], K
+"""
+
+
+@pytest.fixture
+def fig2_trace():
+    return parse_trace(FIGURE2_SOURCE)
+
+
+@pytest.fixture
+def fig2_dag(fig2_trace):
+    return DependenceDAG.from_trace(fig2_trace)
+
+
+@pytest.fixture
+def fig2_names(fig2_dag):
+    """uid -> the paper's node letter (store node labelled 'store')."""
+    names = {}
+    for uid in fig2_dag.op_nodes():
+        text = str(fig2_dag.instruction(uid))
+        names[uid] = "store" if text.startswith("store") else text.split(" ")[0]
+    return names
+
+
+@pytest.fixture
+def fig2_uid_of(fig2_names):
+    return {name: uid for uid, name in fig2_names.items()}
+
+
+@pytest.fixture
+def machine44():
+    return MachineModel.homogeneous(4, 4)
+
+
+@pytest.fixture
+def machine48():
+    return MachineModel.homogeneous(4, 8)
+
+
+@pytest.fixture
+def big_machine():
+    return MachineModel.homogeneous(16, 64)

@@ -1,0 +1,147 @@
+"""Tests for the URSA driver across policies, kernels and machines."""
+
+import pytest
+
+from repro.core.allocator import (
+    AllocationError,
+    Policy,
+    URSAAllocator,
+    allocate,
+)
+from repro.core.measure import ResourceKind
+from repro.graph.dag import DependenceDAG
+from repro.ir.interp import run_trace
+from repro.ir.parser import parse_trace
+from repro.machine.model import MachineModel
+from repro.pipeline import synthesize_memory
+from repro.workloads.kernels import KERNELS, kernel
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernels_on_moderate_machine(self, name):
+        machine = MachineModel.homogeneous(4, 8)
+        dag = DependenceDAG.from_trace(kernel(name))
+        result = allocate(dag, machine)
+        # Moderate machines: allocation converges or leaves at most a
+        # sliver for assignment (heuristic tie-breaks are uid-sensitive).
+        assert result.converged or result.total_excess <= 2, result.describe()
+        if not result.converged:
+            from repro.scheduling.list_scheduler import ListScheduler
+
+            schedule = ListScheduler(result.dag, machine).run()
+            assert schedule.spill_count <= 2
+
+    @pytest.mark.parametrize("n_fus,n_regs", [(2, 4), (1, 3), (8, 16)])
+    def test_fig2_all_machines(self, fig2_trace, n_fus, n_regs):
+        machine = MachineModel.homogeneous(n_fus, n_regs)
+        dag = DependenceDAG.from_trace(fig2_trace)
+        result = allocate(dag, machine)
+        assert result.converged
+
+    def test_no_excess_means_no_transformations(self, fig2_dag, big_machine):
+        result = allocate(fig2_dag, big_machine)
+        assert result.converged
+        assert result.records == []
+        assert result.iterations == 0
+
+    def test_monotone_progress(self, fig2_dag):
+        machine = MachineModel.homogeneous(2, 3)
+        result = allocate(fig2_dag, machine)
+        for record in result.records:
+            assert record.excess_after <= record.excess_before
+
+    def test_iteration_budget_respected(self, fig2_dag):
+        machine = MachineModel.homogeneous(1, 2)
+        result = URSAAllocator(machine, max_iterations=1).run(fig2_dag)
+        assert result.iterations <= 1
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("name", ["figure2", "fft-butterfly", "matmul", "stencil5"])
+    def test_transformed_dag_equivalent(self, name):
+        machine = MachineModel.homogeneous(2, 4)
+        trace = kernel(name)
+        dag = DependenceDAG.from_trace(trace)
+        memory = synthesize_memory(dag, seed=5)
+        expected = run_trace(dag.linearize(), memory)
+        result = allocate(dag, machine)
+        actual = run_trace(result.dag.linearize(), memory)
+        expected_cells = {
+            c: v for c, v in expected.memory.items() if not c[0].startswith("%")
+        }
+        actual_cells = {
+            c: v for c, v in actual.memory.items() if not c[0].startswith("%")
+        }
+        assert actual_cells == expected_cells
+
+
+class TestPolicies:
+    def test_seq_only_never_spills(self, fig2_dag):
+        machine = MachineModel.homogeneous(3, 4)
+        result = allocate(fig2_dag, machine, policy=Policy.SEQ_ONLY)
+        assert all("spill" not in r.kind for r in result.records)
+
+    def test_spill_only_uses_no_reg_sequencing(self, fig2_dag):
+        machine = MachineModel.homogeneous(8, 3)
+        result = allocate(fig2_dag, machine, policy=Policy.SPILL_ONLY)
+        assert all(not r.kind.startswith("reg-seq") for r in result.records)
+
+    def test_phased_registers_first(self):
+        machine = MachineModel.homogeneous(2, 4)
+        dag = DependenceDAG.from_trace(kernel("fft-butterfly"))
+        result = allocate(dag, machine, policy=Policy.PHASED)
+        kinds = [r.kind for r in result.records]
+        if any(k.startswith("fu-seq") for k in kinds):
+            first_fu = next(
+                i for i, k in enumerate(kinds) if k.startswith("fu-seq")
+            )
+            # No register transformation after FU work started.
+            assert all(
+                k.startswith("fu-seq") for k in kinds[first_fu:]
+            ), kinds
+
+    @pytest.mark.parametrize(
+        "policy",
+        [Policy.INTEGRATED, Policy.PHASED, Policy.SEQ_ONLY, Policy.SPILL_ONLY],
+    )
+    def test_all_policies_run(self, fig2_dag, policy):
+        machine = MachineModel.homogeneous(3, 4)
+        result = allocate(fig2_dag, machine, policy=policy)
+        assert result.requirements  # measured something
+
+
+class TestMultiClass:
+    def test_classed_fu_machine(self):
+        machine = MachineModel.classed(alu=1, mul=1, mem=1, branch=1, alu_regs=8)
+        dag = DependenceDAG.from_trace(kernel("figure2"))
+        result = allocate(dag, machine)
+        assert result.converged
+
+    def test_dual_register_classes(self):
+        machine = MachineModel.dual_regclass(n_fus=4, int_regs=3, flt_regs=3)
+        source = "\n".join(
+            [f"i{k} = load [a+{k}]" for k in range(4)]
+            + [f"f{k} = load [b+{k}]" for k in range(4)]
+            + ["isum = i0 + i1", "isum2 = i2 + i3", "itot = isum + isum2"]
+            + ["fsum = f0 + f1", "fsum2 = f2 + f3", "ftot = fsum + fsum2"]
+            + ["store [z], itot", "store [w], ftot"]
+        )
+        dag = DependenceDAG.from_trace(parse_trace(source))
+        result = allocate(dag, machine)
+        assert result.converged
+        reg_reqs = {
+            r.cls: r.required
+            for r in result.requirements
+            if r.kind is ResourceKind.REGISTER
+        }
+        assert reg_reqs["int"] <= 3 and reg_reqs["flt"] <= 3
+
+
+class TestInfeasibility:
+    def test_too_many_live_outs_rejected(self):
+        dag = DependenceDAG.from_trace(
+            parse_trace("a = 1\nb = 2\nc = 3"), live_out=["a", "b", "c"]
+        )
+        with pytest.raises(AllocationError):
+            allocate(dag, MachineModel.homogeneous(2, 2))

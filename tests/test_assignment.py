@@ -1,0 +1,101 @@
+"""Tests for the assignment backends (bind-at-issue vs color)."""
+
+import pytest
+
+from repro.core.allocator import allocate
+from repro.core.assignment import (
+    AssignmentOverflow,
+    assign,
+    color_assign,
+)
+from repro.core.codegen import lower_schedule
+from repro.graph.dag import DependenceDAG
+from repro.ir.interp import run_trace
+from repro.machine.model import MachineModel
+from repro.machine.simulator import VLIWSimulator
+from repro.pipeline import compile_trace, synthesize_memory
+from repro.workloads.kernels import kernel
+from repro.workloads.random_dags import random_layered_trace
+
+
+def verify_schedule(dag, machine, schedule, seed=0):
+    program = lower_schedule(schedule)
+    memory = synthesize_memory(dag, seed)
+    expected = run_trace(dag.linearize(), memory)
+    actual = VLIWSimulator(machine, memory).run(program)
+    strip = lambda mem: {c: v for c, v in mem.items() if not c[0].startswith("%")}
+    assert strip(actual.memory) == strip(expected.memory)
+    return program
+
+
+class TestColorBackend:
+    def test_colors_allocated_fig2(self, fig2_trace):
+        machine = MachineModel.homogeneous(2, 3)
+        dag = DependenceDAG.from_trace(fig2_trace)
+        allocation = allocate(dag, machine)
+        schedule = color_assign(allocation.dag, machine)
+        program = verify_schedule(allocation.dag, machine, schedule)
+        assert program.max_registers_used()["gpr"] <= 3
+        assert schedule.spill_count == 0  # coloring never spills
+
+    def test_overflow_without_allocation(self, fig2_trace):
+        # The untransformed Figure 2 DAG needs 5 registers worst case;
+        # a bad schedule on 3 registers must overflow the colorer.
+        machine = MachineModel.homogeneous(4, 3)
+        dag = DependenceDAG.from_trace(fig2_trace)
+        with pytest.raises(AssignmentOverflow):
+            color_assign(dag, machine)
+
+    def test_assign_falls_back_to_bind(self, fig2_trace):
+        machine = MachineModel.homogeneous(4, 3)
+        dag = DependenceDAG.from_trace(fig2_trace)
+        result = assign(dag, machine, backend="color")
+        # Unallocated DAG: coloring fails, the binder takes over.
+        assert result.backend == "bind"
+        verify_schedule(dag, machine, result.schedule)
+
+    def test_unknown_backend_rejected(self, fig2_dag, machine44):
+        with pytest.raises(ValueError):
+            assign(fig2_dag, machine44, backend="quantum")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_color_after_allocation_random(self, seed):
+        trace = random_layered_trace(n_ops=18, width=4, seed=seed)
+        machine = MachineModel.homogeneous(2, 5)
+        dag = DependenceDAG.from_trace(trace)
+        allocation = allocate(dag, machine)
+        result = assign(allocation.dag, machine, allocation, backend="color")
+        verify_schedule(allocation.dag, machine, result.schedule, seed)
+
+    def test_live_in_out_bindings(self):
+        from repro.ir.parser import parse_trace
+
+        machine = MachineModel.homogeneous(2, 4)
+        dag = DependenceDAG.from_trace(
+            parse_trace("b = a + 1"), live_out=["b"]
+        )
+        schedule = color_assign(dag, machine)
+        assert "a" in schedule.live_in_regs
+        assert "b" in schedule.live_out_regs
+
+
+class TestPipelineBackendFlag:
+    @pytest.mark.parametrize("backend", ["bind", "color"])
+    def test_compile_trace_with_backend(self, backend):
+        machine = MachineModel.homogeneous(2, 4)
+        result = compile_trace(
+            kernel("figure2"), machine, assignment=backend,
+            memory={("v", 0): 6},
+        )
+        assert result.verified
+        assert result.simulation.stores_to("z") == {0: 25}
+
+    def test_backends_agree_semantically(self):
+        machine = MachineModel.homogeneous(2, 4)
+        results = {
+            backend: compile_trace(
+                kernel("stencil5"), machine, assignment=backend, seed=3
+            )
+            for backend in ("bind", "color")
+        }
+        assert all(r.verified for r in results.values())

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def fig2_file(tmp_path):
+    from tests.conftest import FIGURE2_SOURCE
+
+    path = tmp_path / "fig2.ursa"
+    path.write_text(FIGURE2_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.ursa"
+    path.write_text(
+        """
+L0:
+  i = 0
+  acc = 0
+Lloop:
+  acc = acc + i
+  i = i + 1
+  c = i < 5
+  if c goto Lloop
+Ldone:
+  store [out], acc
+  halt
+"""
+    )
+    return str(path)
+
+
+class TestMeasure:
+    def test_measure_kernel(self, capsys):
+        assert main(["measure", "--kernel", "figure2", "--fus", "3", "--regs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fu:any requires 4" in out
+        assert "reg:gpr requires 5" in out
+
+    def test_measure_file(self, capsys, fig2_file):
+        assert main(["measure", fig2_file, "--fus", "8", "--regs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "requires" in out
+
+    def test_measure_dot_output(self, capsys):
+        assert main(["measure", "--kernel", "figure2", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_excessive_sets_not_duplicated(self, capsys):
+        main(["measure", "--kernel", "figure2", "--fus", "3", "--regs", "4"])
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if "excessive set" in l]
+        assert len(lines) == len(set(lines))
+
+    def test_missing_source_errors(self):
+        with pytest.raises(SystemExit):
+            main(["measure", "--fus", "2", "--regs", "2"])
+
+
+class TestCompile:
+    def test_compile_kernel(self, capsys):
+        code = main(
+            ["compile", "--kernel", "saxpy", "--fus", "2", "--regs", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified=True" in out
+
+    @pytest.mark.parametrize("method", ["prepass", "postpass", "goodman-hsu"])
+    def test_compile_methods(self, capsys, method):
+        assert main(
+            ["compile", "--kernel", "figure2", "--method", method]
+        ) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_compile_with_memory(self, capsys, fig2_file):
+        assert main(["compile", fig2_file, "--mem", "v=6"]) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_compile_gantt(self, capsys):
+        assert main(["compile", "--kernel", "figure2", "--gantt"]) == 0
+        assert "cycle" in capsys.readouterr().out
+
+    def test_bad_memory_entry(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "--kernel", "figure2", "--mem", "nonsense"])
+
+    def test_classed_machine(self, capsys):
+        assert main(
+            ["compile", "--kernel", "figure2", "--classed", "--fus", "2"]
+        ) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        assert main(["compare", "--kernel", "figure2"]) == 0
+        out = capsys.readouterr().out
+        for method in ("ursa", "prepass", "postpass", "goodman-hsu"):
+            assert method in out
+
+    def test_compare_subset(self, capsys):
+        assert main(
+            ["compare", "--kernel", "saxpy", "--methods", "ursa", "naive"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ursa" in out and "naive" in out and "prepass" not in out
+
+
+class TestProgram:
+    def test_program_runs_and_verifies(self, capsys, loop_file):
+        assert main(["program", loop_file, "--fus", "2", "--regs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "[out+0] = 10" in out
+        assert "verified: True" in out
+
+    def test_program_needs_file(self):
+        with pytest.raises(SystemExit):
+            main(["program", "--fus", "2", "--regs", "4"])
+
+
+class TestPipeline:
+    def test_pipeline_sweep(self, capsys):
+        assert main(
+            ["pipeline", "dot", "--factors", "1,2", "--fus", "4", "--regs", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MII" in out and "ok" in out
+
+    def test_unknown_loop_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["pipeline", "unknown-loop"])

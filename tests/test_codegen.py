@@ -1,0 +1,80 @@
+"""Tests for schedule lowering and VLIW program containers."""
+
+import pytest
+
+from repro.core.codegen import CodegenError, lower_schedule
+from repro.graph.dag import DependenceDAG
+from repro.ir.opcodes import Opcode
+from repro.machine.model import MachineModel
+from repro.machine.vliw import MachineOp, RegRef, VLIWProgram, VLIWWord
+from repro.scheduling.list_scheduler import ListScheduler
+
+
+class TestLowering:
+    def test_lowered_words_match_cycles(self, fig2_trace):
+        machine = MachineModel.homogeneous(4, 8)
+        dag = DependenceDAG.from_trace(fig2_trace)
+        schedule = ListScheduler(dag, machine).run()
+        program = lower_schedule(schedule)
+        assert program.issue_cycles == max(o.cycle for o in schedule.ops) + 1
+        assert program.op_count == len(schedule.ops)
+
+    def test_source_uids_preserved(self, fig2_trace):
+        machine = MachineModel.homogeneous(4, 8)
+        dag = DependenceDAG.from_trace(fig2_trace)
+        schedule = ListScheduler(dag, machine).run()
+        program = lower_schedule(schedule)
+        uids = {
+            op.source_uid
+            for word in program.words
+            for op in word.ops
+            if op.source_uid is not None
+        }
+        assert uids == set(dag.op_nodes())
+
+    def test_missing_binding_raises(self, fig2_trace):
+        machine = MachineModel.homogeneous(4, 8)
+        dag = DependenceDAG.from_trace(fig2_trace)
+        schedule = ListScheduler(dag, machine).run()
+        schedule.reg_assignment.clear()
+        with pytest.raises(CodegenError):
+            lower_schedule(schedule)
+
+    def test_empty_schedule(self):
+        machine = MachineModel.homogeneous(2, 2)
+        from repro.scheduling.list_scheduler import Schedule
+
+        schedule = Schedule(machine, [], 0, {}, {}, {})
+        program = lower_schedule(schedule)
+        assert program.issue_cycles == 0
+
+
+class TestVLIWContainers:
+    def test_word_rejects_double_placement(self):
+        word = VLIWWord()
+        op = MachineOp(Opcode.NOP)
+        word.place("any", 0, op)
+        with pytest.raises(ValueError):
+            word.place("any", 0, op)
+
+    def test_program_metrics(self):
+        machine = MachineModel.homogeneous(2, 4)
+        program = VLIWProgram(machine)
+        word = VLIWWord()
+        word.place("any", 0, MachineOp(Opcode.CONST, dest=RegRef(0), srcs=(1,)))
+        word.place(
+            "any", 1,
+            MachineOp(Opcode.SPILL, srcs=(RegRef(0),), addr=None),
+        )
+        program.words.append(word)
+        assert program.op_count == 2
+        assert program.spill_op_count == 1
+        assert program.utilization() == 1.0
+        assert program.max_registers_used() == {"gpr": 1}
+
+    def test_str_rendering(self):
+        machine = MachineModel.homogeneous(1, 2)
+        program = VLIWProgram(machine)
+        program.words.append(VLIWWord())
+        text = str(program)
+        assert "(nop)" in text

@@ -1,0 +1,167 @@
+"""Unit tests for the dependence DAG."""
+
+import pytest
+
+from repro.graph.dag import CycleError, DependenceDAG, EdgeKind
+from repro.ir.instructions import Addr
+from repro.ir.parser import parse_trace
+
+
+class TestConstruction:
+    def test_data_edges_follow_values(self, fig2_dag, fig2_uid_of):
+        a, b = fig2_uid_of["A"], fig2_uid_of["B"]
+        data = fig2_dag.graph.get_edge_data(a, b)
+        assert data["kind"] is EdgeKind.DATA
+
+    def test_single_root_and_leaf(self, fig2_dag):
+        assert fig2_dag.graph.in_degree(fig2_dag.entry) == 0
+        assert fig2_dag.graph.out_degree(fig2_dag.exit) == 0
+        for uid in fig2_dag.op_nodes():
+            assert fig2_dag.graph.in_degree(uid) > 0
+            assert fig2_dag.graph.out_degree(uid) > 0
+
+    def test_invariants_hold(self, fig2_dag):
+        fig2_dag.check_invariants()
+
+    def test_memory_edges_between_aliasing_stores(self):
+        insts = parse_trace(
+            "a = 1\nstore [m], a\nb = 2\nstore [m], b"
+        )
+        dag = DependenceDAG.from_trace(insts)
+        stores = [u for u in dag.op_nodes() if dag.instruction(u).is_memory_write]
+        assert dag.reaches(stores[0], stores[1])
+
+    def test_no_memory_edges_between_disjoint_cells(self):
+        insts = parse_trace("a = 1\nstore [m], a\nb = 2\nstore [m+4], b")
+        dag = DependenceDAG.from_trace(insts)
+        stores = [u for u in dag.op_nodes() if dag.instruction(u).is_memory_write]
+        assert dag.independent(stores[0], stores[1])
+
+    def test_store_load_ordering(self):
+        insts = parse_trace("a = 1\nstore [m], a\nv = load [m]\nstore [z], v")
+        dag = DependenceDAG.from_trace(insts)
+        ops = dag.op_nodes()
+        store = next(u for u in ops if str(dag.instruction(u)).startswith("store [m]"))
+        load = next(u for u in ops if dag.instruction(u).is_memory_read)
+        assert dag.reaches(store, load)
+
+    def test_branches_pinned_in_order(self):
+        insts = parse_trace(
+            "c = 1\nd = 2\nif c goto L8\nif d goto L9"
+        )
+        dag = DependenceDAG.from_trace(insts)
+        cbrs = [u for u in dag.op_nodes() if dag.instruction(u).op.value == "cbr"]
+        assert dag.reaches(cbrs[0], cbrs[1])
+
+    def test_stores_do_not_cross_branches(self):
+        insts = parse_trace(
+            "a = 1\nstore [m], a\nc = 1\nif c goto L9\nb = 2\nstore [n], b"
+        )
+        dag = DependenceDAG.from_trace(insts)
+        ops = dag.op_nodes()
+        branch = next(u for u in ops if dag.instruction(u).op.value == "cbr")
+        store_m = next(u for u in ops if str(dag.instruction(u)) == "store [m], a")
+        store_n = next(u for u in ops if str(dag.instruction(u)) == "store [n], b")
+        assert dag.reaches(store_m, branch)
+        assert dag.reaches(branch, store_n)
+
+    def test_live_out_values_used_by_exit(self):
+        insts = parse_trace("a = 1\nb = a + 1")
+        dag = DependenceDAG.from_trace(insts, live_out=["b"])
+        def_b = dag.value_defs["b"]
+        assert dag.graph.has_edge(def_b, dag.exit)
+        assert dag.live_out == frozenset({"b"})
+
+    def test_live_in_values_defined_by_entry(self):
+        insts = parse_trace("b = a + 1\nstore [z], b")
+        dag = DependenceDAG.from_trace(insts)
+        assert dag.value_defs["a"] == dag.entry
+
+    def test_non_single_assignment_rejected_without_rename(self):
+        insts = parse_trace("a = 1\na = 2")
+        with pytest.raises(ValueError):
+            DependenceDAG.from_trace(insts, rename=False)
+
+
+class TestQueries:
+    def test_reaches_transitive(self, fig2_dag, fig2_uid_of):
+        assert fig2_dag.reaches(fig2_uid_of["A"], fig2_uid_of["K"])
+
+    def test_reaches_not_reflexive(self, fig2_dag, fig2_uid_of):
+        assert not fig2_dag.reaches(fig2_uid_of["A"], fig2_uid_of["A"])
+
+    def test_independent_nodes(self, fig2_dag, fig2_uid_of):
+        assert fig2_dag.independent(fig2_uid_of["E"], fig2_uid_of["G"])
+        assert not fig2_dag.independent(fig2_uid_of["D"], fig2_uid_of["G"])
+
+    def test_ancestors_descendants_duality(self, fig2_dag, fig2_uid_of):
+        g = fig2_uid_of["G"]
+        assert fig2_uid_of["D"] in fig2_dag.ancestors(g)
+        assert g in fig2_dag.descendants(fig2_uid_of["D"])
+
+    def test_topological_order_valid(self, fig2_dag):
+        order = fig2_dag.topological_order()
+        position = {uid: i for i, uid in enumerate(order)}
+        for u, v in fig2_dag.graph.edges:
+            assert position[u] < position[v]
+
+    def test_asap_alap_bounds(self, fig2_dag):
+        asap = fig2_dag.asap()
+        alap = fig2_dag.alap()
+        for uid in fig2_dag.op_nodes():
+            assert asap[uid] <= alap[uid]
+
+    def test_critical_path_fig2(self, fig2_dag):
+        # A -> B -> E -> I -> K -> store = 6 unit-latency ops.
+        assert fig2_dag.critical_path_length() == 6
+
+
+class TestMutation:
+    def test_add_sequence_edge(self, fig2_dag, fig2_uid_of):
+        g, h = fig2_uid_of["G"], fig2_uid_of["H"]
+        assert fig2_dag.add_sequence_edge(g, h)
+        assert fig2_dag.reaches(g, h)
+
+    def test_cycle_rejected(self, fig2_dag, fig2_uid_of):
+        with pytest.raises(CycleError):
+            fig2_dag.add_sequence_edge(fig2_uid_of["K"], fig2_uid_of["A"])
+
+    def test_self_edge_rejected(self, fig2_dag, fig2_uid_of):
+        with pytest.raises(CycleError):
+            fig2_dag.add_sequence_edge(fig2_uid_of["A"], fig2_uid_of["A"])
+
+    def test_redundant_edge_returns_false(self, fig2_dag, fig2_uid_of):
+        assert not fig2_dag.add_sequence_edge(
+            fig2_uid_of["A"], fig2_uid_of["K"]
+        )
+
+    def test_copy_is_independent(self, fig2_dag, fig2_uid_of):
+        clone = fig2_dag.copy()
+        clone.add_sequence_edge(fig2_uid_of["G"], fig2_uid_of["H"])
+        assert clone.reaches(fig2_uid_of["G"], fig2_uid_of["H"])
+        assert fig2_dag.independent(fig2_uid_of["G"], fig2_uid_of["H"])
+
+    def test_insert_spill_rewires_uses(self, fig2_dag, fig2_uid_of):
+        d = fig2_uid_of["D"]
+        uses = [fig2_uid_of["G"], fig2_uid_of["H"]]
+        spill, reload, new_name = fig2_dag.insert_spill(
+            "D", uses, Addr("%spill", 0)
+        )
+        fig2_dag.check_invariants()
+        assert fig2_dag.reaches(d, spill)
+        assert fig2_dag.reaches(spill, reload)
+        for use in uses:
+            assert new_name in set(fig2_dag.instruction(use).uses())
+            assert fig2_dag.graph.has_edge(reload, use)
+
+    def test_insert_spill_keeps_acyclic(self, fig2_dag, fig2_uid_of):
+        fig2_dag.insert_spill(
+            "D", [fig2_uid_of["G"], fig2_uid_of["H"]], Addr("%spill", 0)
+        )
+        fig2_dag.topological_order()  # raises on cycles
+
+    def test_linearize_is_schedulable(self, fig2_dag):
+        from repro.ir.interp import run_trace
+
+        result = run_trace(fig2_dag.linearize(), {("v", 0): 6})
+        assert result.stores_to("z") == {0: 25}

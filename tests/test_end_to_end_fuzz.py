@@ -1,0 +1,68 @@
+"""Broad end-to-end integration net: methods x workloads x machines.
+
+Every combination compiles and verifies against the interpreter.  This
+is the widest single safety net in the suite; each case is fast and the
+seeds are fixed, so failures reproduce exactly.
+"""
+
+import pytest
+
+from repro.machine.model import FUClass, MachineModel
+from repro.pipeline import compile_trace
+from repro.workloads.random_dags import (
+    random_expression_tree,
+    random_layered_trace,
+    random_series_parallel,
+    random_wide_trace,
+)
+
+MACHINES = [
+    MachineModel.homogeneous(1, 4),
+    MachineModel.homogeneous(3, 5),
+    MachineModel.classed(alu=2, mul=1, mem=1, branch=1, alu_regs=6),
+    MachineModel(
+        "lat-mix",
+        (FUClass("any", 2, latency=2),),
+        {"gpr": 6},
+    ),
+    MachineModel.homogeneous(2, 6, latency=2, pipelined=True),
+]
+
+WORKLOADS = [
+    ("layered", lambda s: random_layered_trace(n_ops=22, width=5, seed=s)),
+    ("tree", lambda s: random_expression_tree(depth=3, seed=s)),
+    ("series-parallel", lambda s: random_series_parallel(n_blocks=3, seed=s)),
+    ("wide", lambda s: random_wide_trace(n_chains=5, chain_length=3, seed=s)),
+]
+
+METHODS = ("ursa", "prepass", "postpass", "goodman-hsu", "naive")
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w[0])
+@pytest.mark.parametrize("method", METHODS)
+def test_compile_verifies(machine, workload, method):
+    name, factory = workload
+    trace = factory(11)
+    result = compile_trace(trace, machine, method=method, seed=11)
+    assert result.verified, f"{method}/{name}/{machine.name}"
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("backend", ["bind", "color"])
+def test_ursa_assignment_backends(seed, backend):
+    trace = random_layered_trace(n_ops=20, width=4, seed=seed)
+    machine = MachineModel.homogeneous(2, 5)
+    result = compile_trace(
+        trace, machine, method="ursa", seed=seed, assignment=backend
+    )
+    assert result.verified
+
+
+@pytest.mark.parametrize("seed", [5, 6])
+def test_optimized_pipeline_fuzz(seed):
+    trace = random_layered_trace(n_ops=24, width=5, seed=seed)
+    machine = MachineModel.homogeneous(3, 5)
+    plain = compile_trace(trace, machine, seed=seed)
+    optimized = compile_trace(trace, machine, seed=seed, optimize=True)
+    assert plain.verified and optimized.verified

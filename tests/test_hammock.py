@@ -1,0 +1,112 @@
+"""Unit tests for hammock (SESE) analysis."""
+
+import pytest
+
+from repro.graph.dag import DependenceDAG
+from repro.graph.hammock import HammockAnalysis
+from repro.ir.parser import parse_trace
+
+
+@pytest.fixture
+def analysis(fig2_dag):
+    return HammockAnalysis(fig2_dag)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self, fig2_dag, analysis):
+        for uid in fig2_dag.nodes():
+            assert analysis.dominates(fig2_dag.entry, uid)
+
+    def test_exit_postdominates_everything(self, fig2_dag, analysis):
+        for uid in fig2_dag.nodes():
+            assert analysis.postdominates(fig2_dag.exit, uid)
+
+    def test_a_dominates_all_ops(self, fig2_dag, analysis, fig2_uid_of):
+        # Every value flows from A's load.
+        for name in "BCDEFGHIJK":
+            assert analysis.dominates(fig2_uid_of["A"], fig2_uid_of[name])
+
+    def test_d_dominates_its_diamond(self, analysis, fig2_uid_of):
+        assert analysis.dominates(fig2_uid_of["D"], fig2_uid_of["G"])
+        assert analysis.dominates(fig2_uid_of["D"], fig2_uid_of["J"])
+        assert not analysis.dominates(fig2_uid_of["D"], fig2_uid_of["E"])
+
+    def test_j_postdominates_d(self, analysis, fig2_uid_of):
+        assert analysis.postdominates(fig2_uid_of["J"], fig2_uid_of["D"])
+
+    def test_dominance_is_reflexive(self, fig2_dag, analysis):
+        for uid in fig2_dag.nodes():
+            assert analysis.dominates(uid, uid)
+
+
+class TestHammocks:
+    def test_whole_dag_is_a_hammock(self, fig2_dag, analysis):
+        hammocks = analysis.hammocks()
+        whole = hammocks[0]  # sorted largest first
+        assert whole.entry == fig2_dag.entry
+        assert whole.exit == fig2_dag.exit
+        assert len(whole.nodes) == len(fig2_dag)
+
+    def test_d_to_j_hammock_exists(self, analysis, fig2_uid_of):
+        d, j = fig2_uid_of["D"], fig2_uid_of["J"]
+        matches = [
+            h for h in analysis.hammocks() if h.entry == d and h.exit == j
+        ]
+        assert len(matches) == 1
+        names_inside = matches[0].nodes
+        assert fig2_uid_of["G"] in names_inside
+        assert fig2_uid_of["H"] in names_inside
+        assert fig2_uid_of["E"] not in names_inside
+
+    def test_nesting_levels_deeper_inside(self, analysis, fig2_uid_of):
+        levels = analysis.nesting_levels()
+        # G sits inside the D..J hammock, so it is at least as deep as A.
+        assert levels[fig2_uid_of["G"]] >= levels[fig2_uid_of["A"]]
+
+    def test_edge_priority_zero_within_level(self, analysis, fig2_uid_of):
+        levels = analysis.nesting_levels()
+        g, h = fig2_uid_of["G"], fig2_uid_of["H"]
+        assert levels[g] == levels[h]
+        assert analysis.edge_priority(g, h) == 0
+
+    def test_innermost_hammock_containing(self, analysis, fig2_uid_of):
+        hammock = analysis.innermost_hammock_containing(
+            [fig2_uid_of["G"], fig2_uid_of["H"]]
+        )
+        assert fig2_uid_of["E"] not in hammock.nodes
+
+    def test_innermost_containing_unknown_raises(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.innermost_hammock_containing([999999999])
+
+    def test_hammock_interior(self, analysis, fig2_uid_of):
+        d, j = fig2_uid_of["D"], fig2_uid_of["J"]
+        (hammock,) = [
+            h for h in analysis.hammocks() if h.entry == d and h.exit == j
+        ]
+        assert d not in hammock.interior()
+        assert fig2_uid_of["G"] in hammock.interior()
+
+
+class TestChainStructure:
+    def test_two_parallel_diamonds(self):
+        insts = parse_trace(
+            """
+            a = load [p]
+            b = a + 1
+            c = a + 2
+            d = b + c
+            e = load [q]
+            f = e + 1
+            g = e + 2
+            h = f + g
+            r = d + h
+            store [z], r
+            """
+        )
+        dag = DependenceDAG.from_trace(insts)
+        analysis = HammockAnalysis(dag)
+        entries = {(h.entry, h.exit) for h in analysis.hammocks()}
+        ops = {str(dag.instruction(u)).split(" ")[0]: u for u in dag.op_nodes()}
+        assert (ops["a"], ops["d"]) in entries
+        assert (ops["e"], ops["h"]) in entries

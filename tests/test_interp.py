@@ -1,0 +1,151 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.ir.interp import Interpreter, InterpreterError, run_program, run_trace
+from repro.ir.parser import parse_program, parse_trace
+
+
+class TestTraces:
+    def test_arithmetic(self):
+        insts = parse_trace(
+            "v = load [a]\nw = v * 2\nx = w + 3\nstore [z], x"
+        )
+        result = run_trace(insts, {("a", 0): 5})
+        assert result.stores_to("z") == {0: 13}
+
+    def test_all_binary_ops(self):
+        insts = parse_trace(
+            """
+            a = 7
+            b = 3
+            r0 = a + b
+            r1 = a - b
+            r2 = a * b
+            r3 = a / b
+            r4 = a % b
+            r5 = a & b
+            r6 = a | b
+            r7 = a ^ b
+            r8 = a << b
+            r9 = a >> b
+            r10 = min(a, b)
+            r11 = max(a, b)
+            r12 = a < b
+            r13 = a >= b
+            store [o], r0
+            store [o+1], r1
+            store [o+2], r2
+            store [o+3], r3
+            store [o+4], r4
+            store [o+5], r5
+            store [o+6], r6
+            store [o+7], r7
+            store [o+8], r8
+            store [o+9], r9
+            store [o+10], r10
+            store [o+11], r11
+            store [o+12], r12
+            store [o+13], r13
+            """
+        )
+        out = run_trace(insts).stores_to("o")
+        assert out == {
+            0: 10, 1: 4, 2: 21, 3: 2, 4: 1, 5: 3, 6: 7, 7: 4,
+            8: 56, 9: 0, 10: 3, 11: 7, 12: 0, 13: 1,
+        }
+
+    def test_division_truncates_toward_zero(self):
+        insts = parse_trace("a = -7\nb = 2\nr = a / b\nstore [o], r")
+        assert run_trace(insts).stores_to("o") == {0: -3}
+
+    def test_division_by_zero_raises(self):
+        insts = parse_trace("a = 1\nb = 0\nr = a / b")
+        with pytest.raises(InterpreterError):
+            run_trace(insts)
+
+    def test_undefined_value_raises(self):
+        insts = parse_trace("r = x + 1")
+        with pytest.raises(InterpreterError):
+            run_trace(insts)
+
+    def test_uninitialised_memory_raises(self):
+        insts = parse_trace("v = load [nowhere]")
+        with pytest.raises(InterpreterError):
+            run_trace(insts)
+
+    def test_side_exits_not_taken(self):
+        insts = parse_trace("c = 1\nif c goto Lout\nstore [z], 9")
+        assert run_trace(insts).stores_to("z") == {0: 9}
+
+    def test_live_in_env(self):
+        insts = parse_trace("w = x * 2\nstore [z], w")
+        result = Interpreter().run_trace(insts, env={"x": 21})
+        assert result.stores_to("z") == {0: 42}
+
+    def test_neg_and_mov(self):
+        insts = parse_trace("a = 5\nb = -a\nc = b\nstore [z], c")
+        assert run_trace(insts).stores_to("z") == {0: -5}
+
+
+class TestPrograms:
+    def test_branch_taken(self):
+        prog = parse_program(
+            """
+            L0:
+              c = 1
+              if c goto L2
+            L1:
+              store [z], 1
+              halt
+            L2:
+              store [z], 2
+              halt
+            """
+        )
+        result = run_program(prog)
+        assert result.stores_to("z") == {0: 2}
+        assert result.block_path == ["L0", "L2"]
+
+    def test_branch_not_taken_falls_through(self):
+        prog = parse_program(
+            """
+            L0:
+              c = 0
+              if c goto L2
+            L1:
+              store [z], 1
+              halt
+            L2:
+              store [z], 2
+              halt
+            """
+        )
+        assert run_program(prog).stores_to("z") == {0: 1}
+
+    def test_loop_executes(self):
+        prog = parse_program(
+            """
+            L0:
+              i = 0
+              acc = 0
+            Lloop:
+              acc = acc + i
+              i = i + 1
+              c = i < 5
+              if c goto Lloop
+            Ldone:
+              store [z], acc
+              halt
+            """
+        )
+        assert run_program(prog).stores_to("z") == {0: 10}
+
+    def test_infinite_loop_detected(self):
+        prog = parse_program("L0:\nbr L0")
+        with pytest.raises(InterpreterError):
+            Interpreter(max_steps=100).run_program(prog)
+
+    def test_implicit_halt_at_program_end(self):
+        prog = parse_program("L0:\nstore [z], 3")
+        assert run_program(prog).stores_to("z") == {0: 3}

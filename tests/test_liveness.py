@@ -1,0 +1,91 @@
+"""Unit tests for liveness analysis."""
+
+from repro.analysis.liveness import (
+    block_live_sets,
+    block_use_def,
+    linear_live_before,
+    max_linear_pressure,
+)
+from repro.ir.parser import parse_program, parse_trace
+
+
+class TestUseDef:
+    def test_simple(self):
+        insts = parse_trace("a = x + 1\nb = a + y\nstore [z], b")
+        uses, defs = block_use_def(insts)
+        assert uses == {"x", "y"}
+        assert defs == {"a", "b"}
+
+    def test_use_after_def_not_upward_exposed(self):
+        insts = parse_trace("a = 1\nb = a + 1")
+        uses, _ = block_use_def(insts)
+        assert uses == set()
+
+
+class TestBlockLiveness:
+    def test_diamond(self):
+        prog = parse_program(
+            """
+            L0:
+              v = load [a]
+              c = v < 10
+              if c goto L2
+            L1:
+              store [z], v
+              halt
+            L2:
+              w = v * 2
+              store [z], w
+              halt
+            """
+        )
+        live_in, live_out = block_live_sets(prog)
+        assert "v" in live_in["L1"]
+        assert "v" in live_in["L2"]
+        assert "v" in live_out["L0"]
+        assert live_out["L1"] == frozenset()
+
+    def test_loop_carried_value(self):
+        prog = parse_program(
+            """
+            L0:
+              i = 0
+            Lloop:
+              i = i + 1
+              c = i < 5
+              if c goto Lloop
+            Ldone:
+              store [z], i
+              halt
+            """
+        )
+        live_in, live_out = block_live_sets(prog)
+        assert "i" in live_in["Lloop"]
+        assert "i" in live_out["Lloop"]
+
+
+class TestLinearLiveness:
+    def test_live_before_each_point(self):
+        insts = parse_trace("a = 1\nb = a + 1\nstore [z], b")
+        before = linear_live_before(insts)
+        assert before[0] == frozenset()
+        assert before[1] == frozenset({"a"})
+        assert before[2] == frozenset({"b"})
+
+    def test_live_out_extends_range(self):
+        insts = parse_trace("a = 1\nb = 2")
+        before = linear_live_before(insts, live_out=frozenset({"a"}))
+        assert "a" in before[1]
+
+    def test_max_pressure(self):
+        insts = parse_trace(
+            "a = 1\nb = 2\nc = 3\nd = a + b\ne = d + c\nstore [z], e"
+        )
+        assert max_linear_pressure(insts) == 3
+
+    def test_pressure_counts_live_out(self):
+        insts = parse_trace("a = 1")
+        assert max_linear_pressure(insts, live_out=frozenset({"a"})) == 1
+
+    def test_empty_sequence(self):
+        assert max_linear_pressure([], live_out=frozenset({"a", "b"})) == 2

@@ -1,0 +1,80 @@
+"""Unit tests for machine descriptions."""
+
+import pytest
+
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, default_fu_class
+from repro.machine.model import FUClass, MachineConfigError, MachineModel
+
+
+class TestFUClass:
+    def test_universal_class_executes_anything(self):
+        fu = FUClass("any", 2)
+        assert fu.executes(Opcode.MUL)
+        assert fu.executes(Opcode.LOAD)
+
+    def test_restricted_class(self):
+        fu = FUClass("mem", 1, ops=frozenset({Opcode.LOAD, Opcode.STORE}))
+        assert fu.executes(Opcode.LOAD)
+        assert not fu.executes(Opcode.ADD)
+
+
+class TestMachineModel:
+    def test_homogeneous(self):
+        machine = MachineModel.homogeneous(4, 8)
+        assert machine.total_fus == 4
+        assert machine.register_count() == 8
+        assert machine.fu_class_for(Opcode.MUL).name == "any"
+
+    def test_classed_dispatch(self):
+        machine = MachineModel.classed(alu=2, mul=1, mem=1, branch=1)
+        assert machine.fu_class_for(Opcode.ADD).name == "alu"
+        assert machine.fu_class_for(Opcode.MUL).name == "mul"
+        assert machine.fu_class_for(Opcode.LOAD).name == "mem"
+        assert machine.fu_class_for(Opcode.CBR).name == "branch"
+
+    def test_classed_latencies(self):
+        machine = MachineModel.classed(latencies={"mem": 3, "mul": 2})
+        load = Instruction(Opcode.LOAD, dest="v", addr=None)
+        assert machine.fu_class_for(Opcode.LOAD).latency == 3
+        assert machine.fu_class_for(Opcode.MUL).latency == 2
+        assert machine.fu_class_for(Opcode.ADD).latency == 1
+
+    def test_latency_of_pseudo_is_zero(self):
+        machine = MachineModel.homogeneous(2, 4)
+        assert machine.latency_of(Instruction(Opcode.ENTRY)) == 0
+
+    def test_dual_regclass_classification(self):
+        machine = MachineModel.dual_regclass()
+        assert machine.reg_class_of("f3") == "flt"
+        assert machine.reg_class_of("x") == "int"
+        assert set(machine.registers) == {"int", "flt"}
+
+    def test_no_fu_classes_rejected(self):
+        with pytest.raises(MachineConfigError):
+            MachineModel("bad", (), {"gpr": 4})
+
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(MachineConfigError):
+            MachineModel(
+                "bad", (FUClass("a", 1), FUClass("a", 1)), {"gpr": 4}
+            )
+
+    def test_zero_registers_rejected(self):
+        with pytest.raises(MachineConfigError):
+            MachineModel.homogeneous(2, 0)
+
+    def test_unknown_fu_class_lookup(self):
+        machine = MachineModel.homogeneous(2, 4)
+        with pytest.raises(KeyError):
+            machine.fu_class("mystery")
+
+    def test_describe_mentions_shape(self):
+        text = MachineModel.homogeneous(4, 8).describe()
+        assert "4xany" in text and "8 gpr" in text
+
+    def test_default_fu_class_mapping(self):
+        assert default_fu_class(Opcode.ADD) == "alu"
+        assert default_fu_class(Opcode.DIV) == "mul"
+        assert default_fu_class(Opcode.SPILL) == "mem"
+        assert default_fu_class(Opcode.HALT) == "branch"

@@ -1,0 +1,55 @@
+"""Tests for schedule metrics and table formatting."""
+
+from repro.analysis.metrics import STATS_HEADERS, ScheduleStats, speedup
+from repro.ir.printer import format_table
+from repro.machine.model import MachineModel
+from repro.pipeline import compile_trace
+from repro.workloads.kernels import kernel
+
+
+class TestScheduleStats:
+    def test_collect_from_compilation(self):
+        machine = MachineModel.homogeneous(4, 6)
+        result = compile_trace(kernel("figure2"), machine)
+        stats = result.stats
+        assert stats.method == "ursa"
+        assert stats.machine == machine.name
+        assert stats.cycles >= 1
+        assert stats.ops >= 12
+        assert 0 < stats.utilization <= 1
+        assert stats.max_pressure["gpr"] <= 6
+
+    def test_row_matches_headers(self):
+        machine = MachineModel.homogeneous(4, 6)
+        result = compile_trace(kernel("figure2"), machine)
+        assert len(result.stats.row()) == len(STATS_HEADERS)
+
+    def test_verified_rendering(self):
+        machine = MachineModel.homogeneous(4, 6)
+        ok = compile_trace(kernel("figure2"), machine).stats
+        assert ok.row()[-1] == "ok"
+        unverified = compile_trace(
+            kernel("figure2"), machine, verify=False
+        ).stats
+        assert unverified.row()[-1] == "?"
+
+    def test_speedup(self):
+        machine = MachineModel.homogeneous(4, 6)
+        a = compile_trace(kernel("figure2"), machine).stats
+        assert speedup(a, a) == 1.0
+
+
+class TestFormatTable:
+    def test_renders_rows_and_title(self):
+        text = format_table(
+            ["name", "value"], [["x", 1], ["yy", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "yy" in lines[-1]
+
+    def test_column_alignment(self):
+        text = format_table(["a"], [["longvalue"], ["x"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len("longvalue")

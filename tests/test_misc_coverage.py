@@ -1,0 +1,132 @@
+"""Edge-case coverage for containers, printers and small utilities."""
+
+import pytest
+
+from repro.graph.dag import DependenceDAG
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_program, parse_trace
+from repro.ir.printer import format_program, format_table, format_trace
+from repro.ir.program import IRError, Program, straightline_program
+from repro.machine.model import MachineModel
+from repro.scheduling.priorities import (
+    latency_weighted_height,
+    source_order_priority,
+)
+
+
+class TestProgramContainer:
+    def test_straightline_program(self):
+        insts = parse_trace("a = 1\nstore [z], a")
+        program = straightline_program(insts)
+        assert program.entry.label == "L0"
+        assert len(program.entry) == 2
+
+    def test_duplicate_block_rejected(self):
+        program = Program()
+        program.add_block(BasicBlock("L0"))
+        with pytest.raises(IRError):
+            program.add_block(BasicBlock("L0"))
+
+    def test_unknown_block_lookup(self):
+        program = straightline_program(parse_trace("a = 1"))
+        with pytest.raises(KeyError):
+            program.block("Lmissing")
+
+    def test_fallthrough_of_last_block_is_none(self):
+        program = straightline_program(parse_trace("a = 1"))
+        assert program.fallthrough_label("L0") is None
+
+    def test_empty_program_entry_raises(self):
+        with pytest.raises(IRError):
+            Program().entry
+
+    def test_strict_validation_rejects_external_targets(self):
+        program = parse_program("L0:\nc = 1\nif c goto Lout")
+        with pytest.raises(IRError):
+            program.validate(allow_external_targets=False)
+
+    def test_all_instructions_iterates_blocks(self):
+        program = parse_program("L0:\na = 1\nbr L1\nL1:\nstore [z], a")
+        assert len(list(program.all_instructions())) == 3
+
+    def test_block_str_contains_label(self):
+        program = parse_program("Lfoo:\nhalt")
+        assert "Lfoo:" in str(program)
+
+
+class TestPrinters:
+    def test_format_trace_unnumbered(self):
+        insts = parse_trace("a = 1")
+        assert format_trace(insts, numbered=False).strip() == "a = 1"
+
+    def test_format_trace_with_uids(self):
+        insts = parse_trace("a = 1")
+        assert f"uid={insts[0].uid}" in format_trace(insts, show_uids=True)
+
+    def test_format_program_roundtrip(self):
+        program = parse_program("L0:\na = 1\nhalt")
+        text = format_program(program)
+        assert "L0:" in text and "halt" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["h1", "h2"], [])
+        assert "h1" in text
+
+    def test_dag_str_rendering(self, fig2_dag):
+        text = str(fig2_dag)
+        assert "DAG with 12 ops" in text
+
+
+class TestPriorities:
+    def test_source_order_priority_descends(self, fig2_dag):
+        priority = source_order_priority(fig2_dag)
+        order = fig2_dag.topological_order()
+        values = [priority[uid] for uid in order]
+        assert values == sorted(values, reverse=True)
+
+    def test_height_respects_latency(self, fig2_dag):
+        machine = MachineModel.classed(
+            alu=2, mul=2, mem=2, branch=1, latencies={"mul": 3}
+        )
+        unit = latency_weighted_height(fig2_dag)
+        weighted = latency_weighted_height(fig2_dag, machine)
+        # Latency-weighted heights dominate unit heights everywhere.
+        for uid in fig2_dag.op_nodes():
+            assert weighted[uid] >= unit[uid]
+
+    def test_entry_has_max_height(self, fig2_dag):
+        height = latency_weighted_height(fig2_dag)
+        assert height[fig2_dag.entry] == max(height.values())
+
+
+class TestDagEdgeCases:
+    def test_empty_trace_dag(self):
+        dag = DependenceDAG.from_trace([])
+        assert dag.op_nodes() == []
+        assert dag.critical_path_length() == 0
+
+    def test_single_instruction(self):
+        dag = DependenceDAG.from_trace(parse_trace("a = 1"))
+        assert len(dag.op_nodes()) == 1
+        assert dag.critical_path_length() == 1
+
+    def test_branch_only_trace(self):
+        dag = DependenceDAG.from_trace(parse_trace("c = 1\nif c goto Lx"))
+        cbr = [u for u in dag.op_nodes() if dag.instruction(u).op is Opcode.CBR]
+        assert len(cbr) == 1
+
+    def test_would_cycle(self, fig2_dag, fig2_uid_of):
+        assert fig2_dag.would_cycle(fig2_uid_of["K"], fig2_uid_of["A"])
+        assert not fig2_dag.would_cycle(fig2_uid_of["A"], fig2_uid_of["K"])
+
+    def test_replace_instruction_uid_guard(self, fig2_dag, fig2_uid_of):
+        inst = Instruction(Opcode.NOP)
+        with pytest.raises(ValueError):
+            fig2_dag.replace_instruction(fig2_uid_of["A"], inst)
+
+    def test_data_edges_listing(self, fig2_dag):
+        edges = fig2_dag.data_edges()
+        values = {value for _, _, value in edges}
+        assert "A" in values and "K" in values

@@ -1,0 +1,188 @@
+"""Tests for the classical scalar optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.interp import Interpreter
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_trace
+from repro.ir.rename import is_single_assignment
+from repro.machine.model import MachineModel
+from repro.opt import (
+    OptStats,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    optimize_trace,
+    propagate_copies,
+    simplify_algebraic,
+)
+from repro.pipeline import compile_trace
+from repro.workloads.random_dags import random_layered_trace
+
+
+def run_both(before, after, env=None, memory=None):
+    interp = Interpreter(memory or {})
+    first = interp.run_trace(list(before), env=dict(env or {}))
+    second = interp.run_trace(list(after), env=dict(env or {}))
+    strip = lambda mem: {c: v for c, v in mem.items() if not c[0].startswith("%")}
+    assert strip(first.memory) == strip(second.memory)
+
+
+class TestFoldConstants:
+    def test_binary_fold(self):
+        out = fold_constants(parse_trace("a = 3\nb = 4\nc = a * b\nstore [z], c"))
+        assert any(str(i) == "c = 12" for i in out)
+
+    def test_chain_folds(self):
+        out = fold_constants(
+            parse_trace("a = 2\nb = a + 1\nc = b * b\nstore [z], c")
+        )
+        assert any(str(i) == "c = 9" for i in out)
+
+    def test_division_by_zero_not_folded(self):
+        insts = parse_trace("a = 1\nb = 0\nc = a / b")
+        out = fold_constants(insts)
+        assert any(i.op is Opcode.DIV for i in out)
+
+    def test_neg_folds(self):
+        out = fold_constants(parse_trace("a = 5\nb = -a\nstore [z], b"))
+        assert any(str(i) == "b = -5" for i in out)
+
+
+class TestAlgebraic:
+    @pytest.mark.parametrize(
+        "line,expected",
+        [
+            ("c = x * 0", "c = 0"),
+            ("c = 0 * x", "c = 0"),
+            ("c = x * 1", "c = x"),
+            ("c = x + 0", "c = x"),
+            ("c = 0 + x", "c = x"),
+            ("c = x - 0", "c = x"),
+            ("c = x - x", "c = 0"),
+            ("c = x ^ x", "c = 0"),
+            ("c = x & 0", "c = 0"),
+            ("c = x | 0", "c = x"),
+            ("c = x / 1", "c = x"),
+            ("c = x << 0", "c = x"),
+            ("c = min(x, x)", "c = x"),
+        ],
+    )
+    def test_identities(self, line, expected):
+        (inst,) = simplify_algebraic(parse_trace(line))
+        assert str(inst) == expected
+
+    def test_div_by_variable_untouched(self):
+        (inst,) = simplify_algebraic(parse_trace("c = 0 / x"))
+        assert inst.op is Opcode.DIV
+
+
+class TestCopyPropagationAndCSE:
+    def test_copies_forwarded(self):
+        out = propagate_copies(
+            parse_trace("a = x\nb = a + 1\nstore [z], b")
+        )
+        assert str(out[1]) == "b = x + 1"
+
+    def test_cse_reuses_first_computation(self):
+        stats = OptStats()
+        out = eliminate_common_subexpressions(
+            parse_trace("c = a + b\nd = a + b\nstore [z], d"), stats
+        )
+        assert stats.cse_hits == 1
+        assert str(out[1]) == "d = c"
+
+    def test_cse_commutative(self):
+        stats = OptStats()
+        eliminate_common_subexpressions(
+            parse_trace("c = a + b\nd = b + a\nstore [z], d"), stats
+        )
+        assert stats.cse_hits == 1
+
+    def test_loads_never_csed(self):
+        stats = OptStats()
+        out = eliminate_common_subexpressions(
+            parse_trace("a = load [m]\nb = load [m]\nstore [z], b"), stats
+        )
+        assert stats.cse_hits == 0
+        assert sum(1 for i in out if i.op is Opcode.LOAD) == 2
+
+
+class TestDeadCode:
+    def test_dead_defs_removed(self):
+        out = eliminate_dead_code(
+            parse_trace("a = 1\nb = 2\nstore [z], b")
+        )
+        assert all(i.dest != "a" for i in out)
+
+    def test_live_out_kept(self):
+        out = eliminate_dead_code(parse_trace("a = 1\nb = 2"), live_out=["a"])
+        assert any(i.dest == "a" for i in out)
+        assert all(i.dest != "b" for i in out)
+
+    def test_transitively_dead_chain_removed(self):
+        out = eliminate_dead_code(
+            parse_trace("a = 1\nb = a + 1\nc = b + 1\nstore [z], 7")
+        )
+        assert len(out) == 1
+
+    def test_stores_and_branches_kept(self):
+        out = eliminate_dead_code(
+            parse_trace("c = 1\nif c goto L9\nstore [z], 5")
+        )
+        assert len(out) == 3  # condition needed by branch
+
+
+class TestOptimizeTrace:
+    def test_fixed_point_reached(self):
+        insts = parse_trace(
+            "a = 4\nb = 5\nc = a * b\nd = a * b\ne = c + d\nf = e\n"
+            "g = f + x\nh = 0 * g\ni = g + h\ndead = i * 99\nstore [z], i"
+        )
+        out, stats = optimize_trace(insts)
+        assert len(out) == 2
+        assert stats.total > 5
+        run_both(insts, out, env={"x": 11})
+
+    def test_result_is_single_assignment(self):
+        insts = parse_trace("a = 1\na = a + 1\nstore [z], a")
+        out, _ = optimize_trace(insts)
+        assert is_single_assignment(out)
+        run_both(insts, out)
+
+    def test_idempotent(self):
+        insts = parse_trace("v = load [m]\nw = v * 2\nstore [z], w")
+        once, _ = optimize_trace(insts)
+        twice, stats = optimize_trace(once)
+        assert [str(i) for i in once] == [str(i) for i in twice]
+
+
+class TestPipelineIntegration:
+    def test_optimize_flag_shrinks_code(self):
+        source = (
+            "a = 2\nb = 3\nc = a * b\nd = a * b\ne = c + d\n"
+            "v = load [m]\nw = v * e\nstore [z], w"
+        )
+        machine = MachineModel.homogeneous(2, 4)
+        plain = compile_trace(source, machine)
+        optimized = compile_trace(source, machine, optimize=True)
+        assert optimized.verified and plain.verified
+        assert optimized.program.op_count < plain.program.op_count
+
+    def test_optimize_on_dag_rejected(self, fig2_dag):
+        from repro.pipeline import PipelineError
+
+        machine = MachineModel.homogeneous(2, 4)
+        with pytest.raises(PipelineError):
+            compile_trace(fig2_dag, machine, optimize=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**30), st.integers(5, 30))
+def test_property_optimizer_preserves_semantics(seed, n_ops):
+    trace = random_layered_trace(n_ops=n_ops, width=4, seed=seed)
+    out, _ = optimize_trace(trace)
+    memory = {("in", i): (seed % 13) + i + 2 for i in range(8)}
+    run_both(trace, out, memory=memory)

@@ -1,0 +1,43 @@
+"""Tests for the preset machine configurations."""
+
+import pytest
+
+from repro.machine.presets import PRESETS, all_presets, preset
+from repro.pipeline import compile_trace
+from repro.workloads.kernels import kernel
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(PRESETS) == {"narrow", "research", "trace7", "cydra", "dsp"}
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            preset("cray")
+
+    def test_all_presets_valid_machines(self):
+        for machine in all_presets():
+            assert machine.total_fus >= 2
+            assert machine.total_registers >= 4
+
+    def test_cydra_is_pipelined(self):
+        machine = preset("cydra")
+        assert all(fu.pipelined for fu in machine.fu_classes)
+        mem = machine.fu_class("mem")
+        assert mem.latency == 4 and mem.occupancy == 1
+
+    def test_trace7_shape(self):
+        machine = preset("trace7")
+        assert machine.fu_class("alu").count == 4
+        assert machine.fu_class("mem").count == 1
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    @pytest.mark.parametrize("method", ["ursa", "goodman-hsu"])
+    def test_kernels_compile_on_every_preset(self, name, method):
+        machine = preset(name)
+        result = compile_trace(kernel("saxpy"), machine, method=method)
+        assert result.verified
+
+    def test_dsp_register_classes(self):
+        machine = preset("dsp")
+        assert set(machine.registers) == {"int", "flt"}

@@ -1,0 +1,131 @@
+"""Cross-cutting property-based tests on URSA's core guarantees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocator import Policy, allocate
+from repro.core.measure import measure_all, measure_fu, measure_registers
+from repro.graph.dag import DependenceDAG
+from repro.ir.interp import run_trace
+from repro.machine.model import MachineModel
+from repro.pipeline import compile_trace, synthesize_memory
+from repro.scheduling.list_scheduler import ListScheduler
+from repro.workloads.random_dags import random_layered_trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**30), st.integers(4, 26))
+def test_measurement_upper_bounds_fu_usage(seed, n_ops):
+    """No schedule uses more FUs in one cycle than the FU measurement.
+
+    The FU requirement is the worst case over all schedules, so the
+    greedy scheduler (on an unbounded machine) can never exceed it.
+    """
+    trace = random_layered_trace(n_ops=n_ops, width=5, seed=seed)
+    dag = DependenceDAG.from_trace(trace)
+    wide = MachineModel.homogeneous(64, 512)
+    requirement = measure_fu(dag, wide, "any")
+
+    schedule = ListScheduler(dag, wide, respect_registers=False).run()
+    per_cycle = {}
+    for op in schedule.ops:
+        per_cycle[op.cycle] = per_cycle.get(op.cycle, 0) + 1
+    assert max(per_cycle.values()) <= requirement.required
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**30), st.integers(4, 26))
+def test_measurement_upper_bounds_register_usage(seed, n_ops):
+    """Realized pressure never exceeds the *sound* register bound, and
+    the paper's heuristic measurement never exceeds the sound bound.
+
+    The heuristic (Kill-based) measurement may fall below realized
+    pressure — that is the Theorem 2 leakage the assignment phase
+    absorbs — but the every-maximal-use bound is a theorem.
+    """
+    from repro.core.measure import sound_register_width
+
+    trace = random_layered_trace(n_ops=n_ops, width=5, seed=seed)
+    dag = DependenceDAG.from_trace(trace)
+    wide = MachineModel.homogeneous(64, 512)
+    requirement = measure_registers(dag, wide)
+    sound = sound_register_width(dag, wide)
+
+    schedule = ListScheduler(dag, wide, respect_registers=True).run()
+    assert schedule.spill_count == 0
+    assert schedule.max_live_registers("gpr") <= sound
+    assert requirement.required <= sound
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 2**30), st.integers(6, 22))
+def test_allocation_never_increases_requirements_it_targets(seed, n_ops):
+    """After URSA allocation, measured requirements never exceed the
+    originals (transformations only narrow the DAG)."""
+    trace = random_layered_trace(n_ops=n_ops, width=5, seed=seed)
+    machine = MachineModel.homogeneous(2, 4)
+    dag = DependenceDAG.from_trace(trace)
+    before = {
+        (r.kind, r.cls): r.required for r in measure_all(dag, machine)
+    }
+    result = allocate(dag, machine)
+    # Spill code adds mem ops, so FU requirements may grow; the register
+    # requirement must not exceed its starting point.
+    after = {
+        (r.kind, r.cls): r.required for r in result.requirements
+    }
+    for key, value in after.items():
+        if key[0].value == "reg":
+            assert value <= before[key]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**30))
+def test_all_methods_agree_on_memory(seed):
+    """Every compilation method produces the same user-visible memory."""
+    trace = random_layered_trace(n_ops=18, width=4, seed=seed)
+    machine = MachineModel.homogeneous(3, 5)
+    reference = None
+    for method in ("ursa", "prepass", "postpass", "goodman-hsu", "naive"):
+        result = compile_trace(trace, machine, method=method, seed=seed)
+        assert result.verified
+        cells = {
+            cell: value
+            for cell, value in result.simulation.memory.items()
+            if not cell[0].startswith("%")
+        }
+        if reference is None:
+            reference = cells
+        else:
+            assert cells == reference
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**30), st.sampled_from([Policy.INTEGRATED, Policy.PHASED]))
+def test_allocation_preserves_semantics(seed, policy):
+    trace = random_layered_trace(n_ops=20, width=5, seed=seed)
+    machine = MachineModel.homogeneous(2, 4)
+    dag = DependenceDAG.from_trace(trace)
+    memory = synthesize_memory(dag, seed)
+    expected = run_trace(dag.linearize(), memory)
+    result = allocate(dag, machine, policy=policy)
+    actual = run_trace(result.dag.linearize(), memory)
+    strip = lambda mem: {
+        c: v for c, v in mem.items() if not c[0].startswith("%")
+    }
+    assert strip(actual.memory) == strip(expected.memory)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**30), st.integers(1, 6), st.integers(2, 10))
+def test_compiled_code_fits_machine(seed, n_fus, n_regs):
+    """Generated VLIW code never exceeds the machine's slots/registers
+    (the simulator would reject it, but check the static artifact too)."""
+    trace = random_layered_trace(n_ops=16, width=4, seed=seed)
+    machine = MachineModel.homogeneous(n_fus, n_regs)
+    result = compile_trace(trace, machine, method="ursa", seed=seed)
+    for word in result.program.words:
+        assert len(word) <= n_fus
+    peak = result.program.max_registers_used().get("gpr", 0)
+    assert peak <= n_regs

@@ -1,0 +1,75 @@
+"""Whole-program fuzzing with random structured CFGs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.interp import run_program
+from repro.machine.model import MachineModel
+from repro.program_compiler import compile_program, verify_compiled_program
+from repro.workloads.random_programs import random_structured_program
+
+
+class TestGenerator:
+    def test_deterministic_in_seed(self):
+        first = str(random_structured_program(3))
+        second = str(random_structured_program(3))
+        assert first == second
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_programs_terminate(self, seed):
+        program = random_structured_program(seed)
+        result = run_program(program)
+        assert result.steps > 0
+
+    def test_programs_store_results(self):
+        program = random_structured_program(1)
+        result = run_program(program)
+        assert result.stores_to("out")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_contains_structure(self, seed):
+        program = random_structured_program(seed, max_depth=2)
+        labels = {block.label for block in program.blocks}
+        # At least the entry plus some structure.
+        assert "Lentry" in labels
+        assert len(labels) >= 1
+
+    def test_every_cbr_terminates_its_block(self):
+        from repro.ir.opcodes import Opcode
+
+        for seed in range(8):
+            program = random_structured_program(seed)
+            for block in program.blocks:
+                for inst in block.instructions[:-1]:
+                    assert inst.op is not Opcode.CBR, (
+                        f"mid-block CBR in {block.label} (seed {seed})"
+                    )
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("method", ["ursa", "prepass", "goodman-hsu"])
+    def test_random_programs_verify(self, seed, method):
+        program = random_structured_program(seed)
+        machine = MachineModel.homogeneous(2, 4)
+        compiled = compile_program(program, machine, method=method)
+        _, ok = verify_compiled_program(compiled)
+        assert ok
+
+    def test_tight_machine(self):
+        program = random_structured_program(2, max_depth=2, body_size=6)
+        machine = MachineModel.homogeneous(1, 3)
+        compiled = compile_program(program, machine, method="ursa")
+        _, ok = verify_compiled_program(compiled)
+        assert ok
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**30))
+def test_property_random_programs_compile_and_verify(seed):
+    program = random_structured_program(seed, max_depth=2, body_size=3)
+    machine = MachineModel.homogeneous(2, 4)
+    compiled = compile_program(program, machine, method="ursa")
+    _, ok = verify_compiled_program(compiled)
+    assert ok

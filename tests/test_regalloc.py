@@ -1,0 +1,143 @@
+"""Tests for the baseline register allocators (linear scan + coloring)."""
+
+import pytest
+
+from repro.analysis.liveness import linear_live_before
+from repro.ir.interp import Interpreter, run_trace
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_trace
+from repro.machine.model import MachineModel
+from repro.scheduling.regalloc import (
+    LinearScanAllocator,
+    RegAllocError,
+    color_registers,
+)
+from repro.workloads.random_dags import random_layered_trace
+
+
+def check_binding_consistency(outcome, machine):
+    """No two values bound to the same register may overlap in the
+    allocated linear order (read-at-def sharing allowed)."""
+    position_of_def = {}
+    last_use = {}
+    for position, inst in enumerate(outcome.instructions):
+        if inst.dest is not None:
+            position_of_def[inst.dest] = position
+            last_use.setdefault(inst.dest, position)
+        for name in inst.uses():
+            last_use[name] = position
+    for name in outcome.live_in_regs:
+        position_of_def.setdefault(name, -1)
+    for name in outcome.live_out_regs:
+        last_use[name] = len(outcome.instructions)
+
+    by_reg = {}
+    for name, reg in outcome.binding.items():
+        if name not in position_of_def:
+            continue
+        by_reg.setdefault(reg, []).append(
+            (position_of_def[name], last_use.get(name, position_of_def[name]), name)
+        )
+    for reg, ranges in by_reg.items():
+        ranges.sort()
+        for (s1, e1, n1), (s2, e2, n2) in zip(ranges, ranges[1:]):
+            assert s2 >= e1, (
+                f"{n1} and {n2} overlap in {reg}: [{s1},{e1}] vs [{s2},{e2}]"
+            )
+
+
+def check_semantics(original, outcome, memory):
+    expected = run_trace(original, memory)
+    actual = run_trace(outcome.instructions, memory)
+    expected_cells = {
+        c: v for c, v in expected.memory.items() if not c[0].startswith("%")
+    }
+    actual_cells = {
+        c: v for c, v in actual.memory.items() if not c[0].startswith("%")
+    }
+    assert actual_cells == expected_cells
+
+
+class TestLinearScan:
+    def test_no_spills_when_plenty(self, fig2_trace):
+        machine = MachineModel.homogeneous(4, 16)
+        outcome = LinearScanAllocator(machine).run(fig2_trace)
+        assert outcome.spill_ops == 0
+        check_binding_consistency(outcome, machine)
+
+    @pytest.mark.parametrize("n_regs", [2, 3, 4])
+    def test_tight_register_files(self, fig2_trace, n_regs):
+        machine = MachineModel.homogeneous(4, n_regs)
+        outcome = LinearScanAllocator(machine).run(fig2_trace)
+        check_binding_consistency(outcome, machine)
+        check_semantics(fig2_trace, outcome, {("v", 0): 6})
+        peak = max(ref.index for ref in outcome.binding.values()) + 1
+        assert peak <= n_regs
+
+    def test_live_ins_bound(self):
+        trace = parse_trace("b = a + 1\nstore [z], b")
+        machine = MachineModel.homogeneous(2, 4)
+        outcome = LinearScanAllocator(machine).run(trace, live_ins=["a"])
+        assert "a" in outcome.live_in_regs
+
+    def test_live_outs_end_in_registers(self):
+        trace = parse_trace("a = 1\nb = a + 1")
+        machine = MachineModel.homogeneous(2, 2)
+        outcome = LinearScanAllocator(machine).run(trace, live_outs=["b"])
+        assert "b" in outcome.live_out_regs
+
+    def test_use_before_def_rejected(self):
+        trace = parse_trace("b = a + 1")
+        machine = MachineModel.homogeneous(2, 4)
+        with pytest.raises(RegAllocError):
+            LinearScanAllocator(machine).run(trace)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_traces_stay_correct(self, seed):
+        trace = random_layered_trace(n_ops=24, width=5, seed=seed)
+        machine = MachineModel.homogeneous(4, 3)
+        outcome = LinearScanAllocator(machine).run(trace)
+        check_binding_consistency(outcome, machine)
+        memory = {("in", i): 7 + i for i in range(8)}
+        check_semantics(trace, outcome, memory)
+
+
+class TestColoring:
+    def test_colorable_without_spills(self, fig2_trace):
+        machine = MachineModel.homogeneous(4, 8)
+        outcome = color_registers(fig2_trace, machine)
+        assert outcome.spill_ops == 0
+        check_binding_consistency(outcome, machine)
+
+    def test_interference_respected(self, fig2_trace):
+        machine = MachineModel.homogeneous(4, 5)
+        outcome = color_registers(fig2_trace, machine)
+        check_binding_consistency(outcome, machine)
+
+    @pytest.mark.parametrize("n_regs", [3, 4])
+    def test_spill_everywhere_converges(self, fig2_trace, n_regs):
+        machine = MachineModel.homogeneous(4, n_regs)
+        outcome = color_registers(fig2_trace, machine)
+        check_binding_consistency(outcome, machine)
+        check_semantics(fig2_trace, outcome, {("v", 0): 6})
+
+    def test_binding_within_register_file(self, fig2_trace):
+        machine = MachineModel.homogeneous(4, 4)
+        outcome = color_registers(fig2_trace, machine)
+        for reg in outcome.binding.values():
+            assert 0 <= reg.index < 4
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_traces_correct(self, seed):
+        trace = random_layered_trace(n_ops=20, width=5, seed=seed)
+        machine = MachineModel.homogeneous(4, 4)
+        outcome = color_registers(trace, machine)
+        check_binding_consistency(outcome, machine)
+        memory = {("in", i): 3 + i for i in range(8)}
+        check_semantics(trace, outcome, memory)
+
+    def test_live_out_values_colored(self):
+        trace = parse_trace("a = 1\nb = a + 1")
+        machine = MachineModel.homogeneous(2, 2)
+        outcome = color_registers(trace, machine, live_outs=["b"])
+        assert "b" in outcome.live_out_regs

@@ -1,0 +1,62 @@
+"""Unit tests for single-assignment renaming."""
+
+from repro.ir.parser import parse_trace
+from repro.ir.rename import is_single_assignment, rename_trace
+
+
+class TestRenameTrace:
+    def test_already_single_assignment_unchanged(self):
+        insts = parse_trace("v = load [a]\nw = v * 2\nstore [z], w")
+        result = rename_trace(insts)
+        assert [str(i) for i in result.instructions] == [str(i) for i in insts]
+
+    def test_redefinitions_get_versions(self):
+        insts = parse_trace("x = 1\nx = x + 1\nx = x + 1\nstore [z], x")
+        result = rename_trace(insts)
+        texts = [str(i) for i in result.instructions]
+        assert texts == [
+            "x = 1",
+            "x.1 = x + 1",
+            "x.2 = x.1 + 1",
+            "store [z], x.2",
+        ]
+
+    def test_result_is_single_assignment(self):
+        insts = parse_trace("x = 1\nx = x + 1\ny = x\ny = y * y\nstore [z], y")
+        result = rename_trace(insts)
+        assert is_single_assignment(result.instructions)
+
+    def test_live_ins_detected(self):
+        insts = parse_trace("w = v * 2\nstore [z], w")
+        result = rename_trace(insts)
+        assert result.live_ins == {"v"}
+
+    def test_live_in_then_redefined(self):
+        # `x` is read before being written: the incoming value and the
+        # new definition must stay distinct.
+        insts = parse_trace("y = x + 1\nx = 5\nstore [z], x\nstore [w], y")
+        result = rename_trace(insts)
+        assert result.live_ins == {"x"}
+        texts = [str(i) for i in result.instructions]
+        assert texts[1] == "x.1 = 5"
+        assert texts[2] == "store [z], x.1"
+
+    def test_final_names_map(self):
+        insts = parse_trace("x = 1\nx = x + 1")
+        result = rename_trace(insts)
+        assert result.final_names["x"] == "x.1"
+
+    def test_uids_preserved(self):
+        insts = parse_trace("x = 1\nx = x + 1")
+        result = rename_trace(insts)
+        assert [i.uid for i in result.instructions] == [i.uid for i in insts]
+
+
+class TestIsSingleAssignment:
+    def test_true_case(self):
+        insts = parse_trace("a = 1\nb = 2\nc = a + b")
+        assert is_single_assignment(insts)
+
+    def test_false_case(self):
+        insts = parse_trace("a = 1\na = 2")
+        assert not is_single_assignment(insts)

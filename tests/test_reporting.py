@@ -1,0 +1,67 @@
+"""Tests for the Markdown compilation report."""
+
+import pytest
+
+from repro.analysis.reporting import compilation_report
+from repro.machine.model import MachineModel
+from repro.pipeline import compile_trace
+from repro.workloads.kernels import kernel
+
+
+@pytest.fixture
+def ursa_result():
+    machine = MachineModel.homogeneous(2, 3)
+    return compile_trace(kernel("figure2"), machine, memory={("v", 0): 6})
+
+
+class TestCompilationReport:
+    def test_contains_core_sections(self, ursa_result):
+        report = compilation_report(ursa_result)
+        assert "# Compilation report" in report
+        assert "## Measured requirements" in report
+        assert "## URSA allocation" in report
+        assert "## VLIW code" in report
+        assert "## Unit occupancy" in report
+        assert "verified ✅" in report
+
+    def test_custom_title(self, ursa_result):
+        report = compilation_report(ursa_result, title="Figure 2 walkthrough")
+        assert report.startswith("# Figure 2 walkthrough")
+
+    def test_transformation_rows_present(self, ursa_result):
+        report = compilation_report(ursa_result)
+        for record in ursa_result.allocation.records:
+            assert record.kind in report
+
+    def test_sections_can_be_disabled(self, ursa_result):
+        report = compilation_report(
+            ursa_result, include_code=False, include_charts=False
+        )
+        assert "## VLIW code" not in report
+        assert "## Unit occupancy" not in report
+        assert "## Measured requirements" in report
+
+    def test_baseline_report_has_no_allocation_section(self):
+        machine = MachineModel.homogeneous(2, 4)
+        result = compile_trace(kernel("saxpy"), machine, method="prepass")
+        report = compilation_report(result)
+        assert "## URSA allocation" not in report
+        assert "`prepass`" in report
+
+    def test_unverified_report(self):
+        machine = MachineModel.homogeneous(2, 4)
+        result = compile_trace(kernel("saxpy"), machine, verify=False)
+        report = compilation_report(result)
+        assert "not simulated" in report
+
+    def test_cli_report_flag(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(
+            ["compile", "--kernel", "figure2", "--fus", "2", "--regs", "3",
+             "--report", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "Measured requirements" in text

@@ -1,0 +1,164 @@
+"""Unit tests for the VLIW simulator's execution and hazard checking."""
+
+import pytest
+
+from repro.ir.instructions import Addr
+from repro.ir.opcodes import Opcode
+from repro.machine.model import FUClass, MachineModel
+from repro.machine.simulator import SimulationError, VLIWSimulator
+from repro.machine.vliw import MachineOp, RegRef, VLIWProgram, VLIWWord
+
+
+def word(*placements):
+    w = VLIWWord()
+    for fu_class, index, op in placements:
+        w.place(fu_class, index, op)
+    return w
+
+
+def r(i):
+    return RegRef(i, "gpr")
+
+
+class TestExecution:
+    def test_const_add_store(self):
+        machine = MachineModel.homogeneous(2, 4)
+        program = VLIWProgram(machine, [
+            word(("any", 0, MachineOp(Opcode.CONST, dest=r(0), srcs=(5,)))),
+            word(("any", 0, MachineOp(Opcode.ADD, dest=r(1), srcs=(r(0), 2)))),
+            word(("any", 0, MachineOp(Opcode.STORE, srcs=(r(1),), addr=Addr("z")))),
+        ])
+        result = VLIWSimulator(machine).run(program)
+        assert result.stores_to("z") == {0: 7}
+        assert result.cycles == 3
+
+    def test_parallel_issue_reads_old_values(self):
+        # Both ops in one word read the register file at issue.
+        machine = MachineModel.homogeneous(2, 4)
+        program = VLIWProgram(machine, [
+            word(("any", 0, MachineOp(Opcode.CONST, dest=r(0), srcs=(1,)))),
+            word(
+                ("any", 0, MachineOp(Opcode.MOV, dest=r(1), srcs=(r(0),))),
+                ("any", 1, MachineOp(Opcode.MOV, dest=r(0), srcs=(r(0),))),
+            ),
+        ])
+        result = VLIWSimulator(machine).run(program)
+        assert result.registers["gpr"][1] == 1
+
+    def test_load_from_memory(self):
+        machine = MachineModel.homogeneous(1, 2)
+        program = VLIWProgram(machine, [
+            word(("any", 0, MachineOp(Opcode.LOAD, dest=r(0), addr=Addr("a", 4)))),
+            word(("any", 0, MachineOp(Opcode.STORE, srcs=(r(0),), addr=Addr("z")))),
+        ])
+        result = VLIWSimulator(machine, {("a", 4): 99}).run(program)
+        assert result.stores_to("z") == {0: 99}
+
+    def test_live_in_values(self):
+        machine = MachineModel.homogeneous(1, 2)
+        program = VLIWProgram(machine, [
+            word(("any", 0, MachineOp(Opcode.STORE, srcs=(r(0),), addr=Addr("z")))),
+        ])
+        program.live_in_regs = {"x": r(0)}
+        result = VLIWSimulator(machine).run(program, live_in_values={"x": 7})
+        assert result.stores_to("z") == {0: 7}
+
+    def test_missing_live_in_value_rejected(self):
+        machine = MachineModel.homogeneous(1, 2)
+        program = VLIWProgram(machine, [])
+        program.live_in_regs = {"x": r(0)}
+        with pytest.raises(SimulationError):
+            VLIWSimulator(machine).run(program)
+
+    def test_empty_words_are_stalls(self):
+        machine = MachineModel.homogeneous(1, 2)
+        program = VLIWProgram(machine, [
+            VLIWWord(),
+            word(("any", 0, MachineOp(Opcode.CONST, dest=r(0), srcs=(1,)))),
+        ])
+        result = VLIWSimulator(machine).run(program)
+        assert result.stall_words == 1
+
+
+class TestHazardChecks:
+    def test_read_of_undefined_register(self):
+        machine = MachineModel.homogeneous(1, 2)
+        program = VLIWProgram(machine, [
+            word(("any", 0, MachineOp(Opcode.MOV, dest=r(1), srcs=(r(0),)))),
+        ])
+        with pytest.raises(SimulationError):
+            VLIWSimulator(machine).run(program)
+
+    def test_register_out_of_range(self):
+        machine = MachineModel.homogeneous(1, 2)
+        program = VLIWProgram(machine, [
+            word(("any", 0, MachineOp(Opcode.CONST, dest=r(5), srcs=(1,)))),
+        ])
+        # Out-of-range destination writes are caught on the later read;
+        # catch them at write time via the read of the result register.
+        program.words.append(
+            word(("any", 0, MachineOp(Opcode.MOV, dest=r(0), srcs=(r(5),))))
+        )
+        with pytest.raises(SimulationError):
+            VLIWSimulator(machine).run(program)
+
+    def test_unknown_slot_rejected(self):
+        machine = MachineModel.homogeneous(1, 2)
+        program = VLIWProgram(machine, [
+            word(("any", 1, MachineOp(Opcode.CONST, dest=r(0), srcs=(1,)))),
+        ])
+        with pytest.raises(SimulationError):
+            VLIWSimulator(machine).run(program)
+
+    def test_wrong_class_rejected(self):
+        machine = MachineModel.classed(alu=1, mul=1, mem=1, branch=1)
+        program = VLIWProgram(machine, [
+            word(("alu", 0, MachineOp(Opcode.MUL, dest=RegRef(0), srcs=(1, 2)))),
+        ])
+        with pytest.raises(SimulationError):
+            VLIWSimulator(machine).run(program)
+
+    def test_read_before_writeback_with_latency(self):
+        machine = MachineModel(
+            "lat2", (FUClass("any", 2, latency=2),), {"gpr": 4}
+        )
+        program = VLIWProgram(machine, [
+            word(("any", 0, MachineOp(Opcode.CONST, dest=r(0), srcs=(1,)))),
+            # CONST writes back at end of cycle 1; reading at cycle 1 is
+            # a hazard on an interlock-free VLIW.
+            word(("any", 1, MachineOp(Opcode.MOV, dest=r(1), srcs=(r(0),)))),
+        ])
+        with pytest.raises(SimulationError):
+            VLIWSimulator(machine).run(program)
+
+    def test_read_after_writeback_with_latency(self):
+        machine = MachineModel(
+            "lat2", (FUClass("any", 2, latency=2),), {"gpr": 4}
+        )
+        program = VLIWProgram(machine, [
+            word(("any", 0, MachineOp(Opcode.CONST, dest=r(0), srcs=(1,)))),
+            VLIWWord(),
+            word(("any", 1, MachineOp(Opcode.MOV, dest=r(1), srcs=(r(0),)))),
+        ])
+        result = VLIWSimulator(machine).run(program)
+        assert result.registers["gpr"][1] == 1
+
+    def test_non_pipelined_fu_occupancy(self):
+        machine = MachineModel(
+            "lat2", (FUClass("any", 1, latency=2),), {"gpr": 4}
+        )
+        program = VLIWProgram(machine, [
+            word(("any", 0, MachineOp(Opcode.CONST, dest=r(0), srcs=(1,)))),
+            word(("any", 0, MachineOp(Opcode.CONST, dest=r(1), srcs=(2,)))),
+        ])
+        with pytest.raises(SimulationError):
+            VLIWSimulator(machine).run(program)
+
+    def test_division_by_zero_reported(self):
+        machine = MachineModel.homogeneous(1, 2)
+        program = VLIWProgram(machine, [
+            word(("any", 0, MachineOp(Opcode.CONST, dest=r(0), srcs=(0,)))),
+            word(("any", 0, MachineOp(Opcode.DIV, dest=r(1), srcs=(1, r(0))))),
+        ])
+        with pytest.raises(SimulationError):
+            VLIWSimulator(machine).run(program)

@@ -1,0 +1,120 @@
+"""Tests for the unroll-and-allocate software pipelining extension."""
+
+import pytest
+
+from repro.ir.interp import run_trace
+from repro.ir.rename import is_single_assignment
+from repro.machine.model import MachineModel
+from repro.software_pipelining import (
+    LOOPS,
+    LoopSpec,
+    best_initiation_interval,
+    dot_product_loop,
+    min_initiation_interval,
+    pipeline_sweep,
+    recurrence_mii,
+    recurrence_loop,
+    resource_mii,
+    saxpy_loop,
+    unroll_loop,
+)
+
+MACHINE = MachineModel.homogeneous(4, 8)
+
+
+class TestUnroll:
+    @pytest.mark.parametrize("name", sorted(LOOPS))
+    @pytest.mark.parametrize("factor", [1, 3])
+    def test_unrolled_traces_are_single_assignment(self, name, factor):
+        trace = unroll_loop(LOOPS[name](), factor)
+        assert is_single_assignment(trace)
+
+    def test_factor_zero_rejected(self):
+        with pytest.raises(ValueError):
+            unroll_loop(dot_product_loop(), 0)
+
+    def test_dot_product_semantics(self):
+        trace = unroll_loop(dot_product_loop(), 3)
+        memory = {("a", i): i + 1 for i in range(3)}
+        memory.update({("b", i): 10 for i in range(3)})
+        result = run_trace(trace, memory)
+        assert result.stores_to("sum") == {0: 60}
+
+    def test_recurrence_semantics(self):
+        trace = unroll_loop(recurrence_loop(), 2)
+        memory = {
+            ("x0", 0): 1,
+            ("a", 0): 2, ("a", 1): 3,
+            ("b", 0): 10, ("b", 1): 20,
+        }
+        result = run_trace(trace, memory)
+        # x1 = 10 - 2*1 = 8 ; x2 = 20 - 3*8 = -4
+        assert result.stores_to("x") == {0: 8, 1: -4}
+
+    def test_unroll_scales_linearly(self):
+        small = unroll_loop(saxpy_loop(), 2)
+        large = unroll_loop(saxpy_loop(), 6)
+        per_iter_small = (len(small) - 1) / 2
+        per_iter_large = (len(large) - 1) / 6
+        assert per_iter_small == per_iter_large
+
+
+class TestMII:
+    def test_saxpy_has_no_recurrence(self):
+        assert recurrence_mii(saxpy_loop(), MACHINE) <= 1
+
+    def test_recurrence_loop_has_recurrence(self):
+        assert recurrence_mii(recurrence_loop(), MACHINE) >= 2
+
+    def test_resource_mii_scales_with_units(self):
+        narrow = MachineModel.homogeneous(1, 8)
+        wide = MachineModel.homogeneous(8, 8)
+        spec = saxpy_loop()
+        assert resource_mii(spec, narrow) > resource_mii(spec, wide)
+
+    def test_mii_is_max_of_components(self):
+        for name in LOOPS:
+            mii, res, rec = min_initiation_interval(LOOPS[name](), MACHINE)
+            assert mii == max(res, float(rec))
+
+    def test_classed_machine_mii(self):
+        machine = MachineModel.classed(alu=2, mul=1, mem=1, branch=1)
+        mii, res, rec = min_initiation_interval(dot_product_loop(), machine)
+        # One multiply and two loads per iteration on single mul/mem
+        # units: the memory unit is the bottleneck.
+        assert res >= 2
+
+
+class TestSweep:
+    @pytest.mark.parametrize("name", sorted(LOOPS))
+    def test_all_factors_verified(self, name):
+        results = pipeline_sweep(
+            LOOPS[name](), MACHINE, factors=(1, 2, 4)
+        )
+        assert all(r.verified for r in results)
+
+    def test_achieved_ii_respects_mii(self):
+        for name in ("dot", "saxpy", "recurrence"):
+            spec = LOOPS[name]()
+            mii, _, _ = min_initiation_interval(spec, MACHINE)
+            results = pipeline_sweep(spec, MACHINE, factors=(1, 2, 4))
+            assert best_initiation_interval(results) >= mii - 1e-9
+
+    def test_unrolling_improves_parallel_loops(self):
+        results = pipeline_sweep(saxpy_loop(), MACHINE, factors=(1, 4))
+        assert results[-1].per_iteration < results[0].per_iteration
+
+    def test_requirements_grow_with_factor(self):
+        results = pipeline_sweep(dot_product_loop(), MACHINE, factors=(1, 4))
+        assert results[-1].reg_requirement > results[0].reg_requirement
+
+    def test_rows_renderable(self):
+        (result,) = pipeline_sweep(saxpy_loop(), MACHINE, factors=(2,))
+        row = result.row()
+        assert row[0] == 2 and row[-1] == "ok"
+
+    def test_baseline_methods_also_work(self):
+        results = pipeline_sweep(
+            dot_product_loop(), MACHINE, factors=(2,), method="prepass"
+        )
+        assert results[0].verified

@@ -1,0 +1,82 @@
+"""Branch inversion when a trace follows a CBR's *taken* edge."""
+
+import pytest
+
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_program
+from repro.ir.trace import Trace, main_trace
+from repro.machine.model import MachineModel
+from repro.pipeline import compile_trace
+from repro.program_compiler import compile_program, verify_compiled_program
+
+
+def taken_hot_program():
+    program = parse_program(
+        """
+        L0:
+          v = load [a]
+          c = v < 100
+          if c goto Lhot
+        Lcold:
+          store [z], 0
+          halt
+        Lhot:
+          w = v * 2
+          store [z], w
+          halt
+        """
+    )
+    program.set_edge_weight("L0", "Lhot", 99.0)
+    program.set_edge_weight("L0", "Lcold", 1.0)
+    return program
+
+
+class TestInversion:
+    def test_trace_takes_the_hot_edge(self):
+        trace = main_trace(taken_hot_program())
+        assert trace.labels == ["L0", "Lhot"]
+
+    def test_flatten_inverts_the_branch(self):
+        trace = main_trace(taken_hot_program())
+        flat = trace.flatten()
+        cbrs = [inst for inst in flat if inst.op is Opcode.CBR]
+        assert len(cbrs) == 1
+        # The synthesized side exit now targets the cold block.
+        assert cbrs[0].target == "Lcold"
+        # An inverted condition (cond == 0) feeds it.
+        inverted = [
+            inst for inst in flat
+            if inst.op is Opcode.CMPEQ and inst.dest.startswith("__not")
+        ]
+        assert len(inverted) == 1
+
+    def test_flatten_is_cached_and_consistent(self):
+        trace = main_trace(taken_hot_program())
+        first = trace.flatten()
+        second = trace.flatten()
+        assert [i.uid for i in first] == [i.uid for i in second]
+        # side_exit_liveness keys refer to the same synthesized CBR.
+        (uid,) = trace.side_exit_liveness().keys()
+        assert uid in {i.uid for i in first}
+
+    def test_side_exit_liveness_uses_cold_target(self):
+        trace = main_trace(taken_hot_program())
+        (names,) = trace.side_exit_liveness().values()
+        # Lcold uses nothing from the trace.
+        assert names == frozenset()
+
+    def test_inverted_trace_compiles_and_verifies(self):
+        trace = main_trace(taken_hot_program())
+        machine = MachineModel.homogeneous(2, 4)
+        result = compile_trace(trace, machine, memory={("a", 0): 7})
+        assert result.verified
+        assert result.simulation.stores_to("z") == {0: 14}
+
+    @pytest.mark.parametrize("value,expected", [(7, 14), (500, 0)])
+    def test_whole_program_both_paths(self, value, expected):
+        program = taken_hot_program()
+        machine = MachineModel.homogeneous(2, 4)
+        compiled = compile_program(program, machine, method="ursa")
+        run, ok = verify_compiled_program(compiled, {("a", 0): value})
+        assert ok
+        assert run.stores_to("z") == {0: expected}

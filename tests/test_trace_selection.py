@@ -1,0 +1,94 @@
+"""Unit tests for Fisher-style trace selection and flattening."""
+
+import pytest
+
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_program
+from repro.ir.trace import Trace, main_trace, select_traces
+
+
+def diamond_program(taken_weight=9.0, fall_weight=1.0):
+    from repro.ir.parser import parse_program
+
+    prog = parse_program(
+        """
+        L0:
+          v = load [a]
+          c = v < 10
+          if c goto L2
+        L1:
+          x = v + 1
+          store [z], x
+          br L3
+        L2:
+          y = v * 2
+          store [z], y
+        L3:
+          halt
+        """
+    )
+    prog.set_edge_weight("L0", "L2", taken_weight)
+    prog.set_edge_weight("L0", "L1", fall_weight)
+    prog.set_edge_weight("L2", "L3", taken_weight)
+    prog.set_edge_weight("L1", "L3", fall_weight)
+    return prog
+
+
+class TestSelection:
+    def test_traces_partition_blocks(self):
+        prog = diamond_program()
+        traces = select_traces(prog)
+        labels = [label for trace in traces for label in trace.labels]
+        assert sorted(labels) == sorted(b.label for b in prog.blocks)
+
+    def test_hot_path_first(self):
+        prog = diamond_program()
+        trace = main_trace(prog)
+        assert "L2" in trace.labels
+        assert "L1" not in trace.labels
+
+    def test_cold_path_respects_weights(self):
+        prog = diamond_program(taken_weight=1.0, fall_weight=9.0)
+        trace = main_trace(prog)
+        assert "L1" in trace.labels
+
+    def test_straightline_single_trace(self):
+        prog = parse_program("L0:\nx = 1\nstore [z], x\nhalt")
+        traces = select_traces(prog)
+        assert len(traces) == 1
+        assert traces[0].labels == ["L0"]
+
+    def test_max_trace_blocks(self):
+        prog = diamond_program()
+        traces = select_traces(prog, max_trace_blocks=1)
+        assert all(len(t.labels) == 1 for t in traces)
+
+
+class TestFlattening:
+    def test_flatten_drops_internal_branches(self):
+        prog = diamond_program()
+        trace = main_trace(prog)
+        flat = trace.flatten()
+        # No unconditional branches inside a flattened trace.
+        assert all(i.op is not Opcode.BR for i in flat)
+
+    def test_flatten_keeps_side_exits(self):
+        prog = diamond_program()
+        trace = main_trace(prog)
+        flat = trace.flatten()
+        cbrs = [i for i in flat if i.op is Opcode.CBR]
+        assert len(cbrs) == 1
+        assert cbrs[0].target not in trace.labels
+
+    def test_side_exit_liveness(self):
+        prog = diamond_program()
+        trace = main_trace(prog)
+        liveness = trace.side_exit_liveness()
+        (names,) = liveness.values()
+        # v is live into the off-trace block L1.
+        assert "v" in names
+
+    def test_fallthrough_liveness_empty_for_store_terminated(self):
+        prog = diamond_program()
+        trace = main_trace(prog)
+        assert trace.fallthrough_liveness() == frozenset()

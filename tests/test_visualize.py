@@ -1,0 +1,93 @@
+"""Tests for the DOT/ASCII visualization helpers."""
+
+import pytest
+
+from repro.analysis.visualize import (
+    chains_to_dot,
+    dag_to_dot,
+    pressure_profile,
+    schedule_gantt,
+)
+from repro.core.measure import measure_fu
+from repro.graph.dag import DependenceDAG
+from repro.machine.model import FUClass, MachineModel
+from repro.scheduling.list_scheduler import ListScheduler, Schedule
+
+
+class TestDot:
+    def test_dag_to_dot_wellformed(self, fig2_dag):
+        dot = dag_to_dot(fig2_dag)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        # Every op node appears.
+        for uid in fig2_dag.op_nodes():
+            assert f"n{uid} [" in dot
+
+    def test_pseudo_nodes_excluded_by_default(self, fig2_dag):
+        dot = dag_to_dot(fig2_dag)
+        assert "ENTRY" not in dot
+        assert "EXIT" not in dot
+
+    def test_pseudo_nodes_included_on_request(self, fig2_dag):
+        dot = dag_to_dot(fig2_dag, include_pseudo=True)
+        assert "ENTRY" in dot and "EXIT" in dot
+
+    def test_highlight_marks_nodes(self, fig2_dag, fig2_uid_of):
+        dot = dag_to_dot(fig2_dag, highlight=[fig2_uid_of["G"]])
+        assert "lightgoldenrod" in dot
+
+    def test_seq_edges_dashed(self, fig2_dag, fig2_uid_of):
+        fig2_dag.add_sequence_edge(fig2_uid_of["G"], fig2_uid_of["H"])
+        dot = dag_to_dot(fig2_dag)
+        assert "style=dashed" in dot
+
+    def test_chains_to_dot(self, fig2_dag, machine44):
+        requirement = measure_fu(fig2_dag, machine44, "any")
+        dot = chains_to_dot(fig2_dag, requirement.decomposition.chains)
+        assert "color=red" in dot
+        assert dot.count("fillcolor") >= len(fig2_dag.op_nodes())
+
+
+class TestGantt:
+    def test_rows_per_unit(self, fig2_dag):
+        machine = MachineModel.homogeneous(3, 8)
+        schedule = ListScheduler(fig2_dag, machine).run()
+        chart = schedule_gantt(schedule)
+        assert "any[0]" in chart and "any[2]" in chart
+        assert "any[3]" not in chart
+
+    def test_latency_occupancy_marked(self, fig2_dag):
+        machine = MachineModel("lat2", (FUClass("any", 4, 2),), {"gpr": 16})
+        schedule = ListScheduler(fig2_dag, machine).run()
+        chart = schedule_gantt(schedule)
+        assert "=====" in chart
+
+    def test_spill_code_tagged(self, fig2_dag):
+        machine = MachineModel.homogeneous(2, 3)
+        schedule = ListScheduler(fig2_dag, machine).run()
+        if schedule.spill_count == 0:
+            pytest.skip("this configuration resolved without spilling")
+        chart = schedule_gantt(schedule)
+        tokens = set(chart.split())
+        assert "sp" in tokens and "re" in tokens
+
+    def test_empty_schedule(self):
+        machine = MachineModel.homogeneous(1, 1)
+        schedule = Schedule(machine, [], 0, {}, {}, {})
+        assert schedule_gantt(schedule) == "(empty schedule)"
+
+
+class TestPressureProfile:
+    def test_profile_has_one_line_per_cycle(self, fig2_dag):
+        machine = MachineModel.homogeneous(4, 8)
+        schedule = ListScheduler(fig2_dag, machine).run()
+        profile = pressure_profile(schedule)
+        cycles = max(op.cycle for op in schedule.ops) + 1
+        assert len(profile.splitlines()) == cycles
+
+    def test_profile_counts_bounded_by_file(self, fig2_dag):
+        machine = MachineModel.homogeneous(4, 4)
+        schedule = ListScheduler(fig2_dag, machine).run()
+        profile = pressure_profile(schedule)
+        counts = [int(line.split()[-1]) for line in profile.splitlines()]
+        assert max(counts) <= 4  # never more than the register file

@@ -1,0 +1,152 @@
+"""Tests for workload generators: structure, determinism, and semantics."""
+
+import pytest
+
+from repro.graph.dag import DependenceDAG
+from repro.ir.interp import run_trace
+from repro.ir.rename import is_single_assignment
+from repro.pipeline import synthesize_memory
+from repro.workloads.kernels import KERNELS, kernel
+from repro.workloads.random_dags import (
+    random_expression_tree,
+    random_layered_trace,
+    random_series_parallel,
+    random_wide_trace,
+)
+
+
+def interpretable(trace, seed=0):
+    dag = DependenceDAG.from_trace(trace)
+    memory = synthesize_memory(dag, seed)
+    return run_trace(trace, memory)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernels_interpretable(self, name):
+        result = interpretable(kernel(name))
+        assert result.steps > 0
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernels_single_assignment(self, name):
+        assert is_single_assignment(kernel(name))
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernels_produce_output(self, name):
+        trace = kernel(name)
+        stores = [i for i in trace if i.is_memory_write]
+        assert stores, f"{name} writes nothing observable"
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            kernel("quantum-fft")
+
+    def test_dot_product_value(self):
+        trace = kernel("dot-product", unroll=3)
+        memory = {("a", i): i + 1 for i in range(3)}
+        memory.update({("b", i): 2 for i in range(3)})
+        result = run_trace(trace, memory)
+        assert result.stores_to("sum") == {0: 12}
+
+    def test_horner_vs_estrin_agree(self):
+        degree = 7
+        memory = {("x", 0): 3}
+        memory.update({("c", i): i + 1 for i in range(degree + 1)})
+        h = run_trace(kernel("horner", degree=degree), memory)
+        e = run_trace(kernel("estrin", degree=degree), memory)
+        assert h.stores_to("p") == e.stores_to("p")
+
+    def test_matmul_value(self):
+        n = 2
+        memory = {("A", i): 1 for i in range(4)}
+        memory.update({("B", i): i for i in range(4)})
+        result = run_trace(kernel("matmul", n=n), memory)
+        # Each C entry = column sums of B: [0+2, 1+3].
+        assert result.stores_to("C") == {0: 2, 1: 4, 2: 2, 3: 4}
+
+    def test_unroll_scales_size(self):
+        small = kernel("dot-product", unroll=2)
+        big = kernel("dot-product", unroll=8)
+        assert len(big) > len(small)
+
+    def test_figure2_matches_paper_node_count(self):
+        # 11 value-producing ops + one observing store.
+        assert len(kernel("figure2")) == 12
+
+
+class TestRandomGenerators:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s: random_layered_trace(n_ops=20, width=4, seed=s),
+            lambda s: random_expression_tree(depth=3, seed=s),
+            lambda s: random_series_parallel(seed=s),
+            lambda s: random_wide_trace(seed=s),
+        ],
+        ids=["layered", "tree", "series-parallel", "wide"],
+    )
+    def test_deterministic_in_seed(self, factory):
+        first = [str(i) for i in factory(7)]
+        second = [str(i) for i in factory(7)]
+        assert first == second
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_layered_interpretable(self, seed):
+        interpretable(random_layered_trace(n_ops=16, width=4, seed=seed), seed)
+
+    def test_layered_sinks_all_stored(self):
+        trace = random_layered_trace(n_ops=12, width=3, seed=1)
+        dag = DependenceDAG.from_trace(trace)
+        for name, def_uid in dag.value_defs.items():
+            if def_uid == dag.entry:
+                continue
+            assert dag.value_uses.get(name), f"value {name} is dead"
+
+    def test_expression_tree_shape(self):
+        trace = random_expression_tree(depth=3, seed=0)
+        loads = [i for i in trace if i.is_memory_read]
+        assert len(loads) == 8  # 2**3 leaves
+
+    def test_wide_trace_width(self):
+        from repro.core.measure import measure_fu
+        from repro.machine.model import MachineModel
+
+        trace = random_wide_trace(n_chains=5, chain_length=3, seed=0)
+        dag = DependenceDAG.from_trace(trace)
+        req = measure_fu(dag, MachineModel.homogeneous(1, 64), "any")
+        assert req.required >= 5
+
+    def test_series_parallel_interpretable(self):
+        interpretable(random_series_parallel(n_blocks=3, seed=2), 2)
+
+
+class TestNewKernelSemantics:
+    def test_fir_value(self):
+        memory = {("c", k): k + 1 for k in range(4)}
+        memory.update({("x", i): 10 for i in range(7)})
+        result = run_trace(kernel("fir"), memory)
+        # Each output = 10 * (1+2+3+4) = 100.
+        assert result.stores_to("y") == {0: 100, 1: 100, 2: 100}
+
+    def test_matvec_value(self):
+        memory = {("v", j): 1 for j in range(3)}
+        memory.update({("M", k): k for k in range(9)})
+        result = run_trace(kernel("matvec"), memory)
+        assert result.stores_to("r") == {0: 3, 1: 12, 2: 21}
+
+    def test_fft8_stage_value(self):
+        memory = {("w", 0): 1, ("w", 1): 2}
+        memory.update({("x", i): i + 1 for i in range(8)})
+        result = run_trace(kernel("fft8-stage"), memory)
+        out = result.stores_to("out")
+        # pair 0: lo=1, hi=5, w=1 -> out0=6, out4=-4
+        assert out[0] == 6 and out[4] == -4
+        # pair 1: lo=2, hi=6, w=2 -> out1=14, out5=-10
+        assert out[1] == 14 and out[5] == -10
+
+    def test_bitonic_stage_properties(self):
+        memory = {("v", i): v for i, v in enumerate([7, 1, 9, 3])}
+        out = run_trace(kernel("bitonic"), memory).stores_to("out")
+        # The network preserves the multiset and puts a global min first.
+        assert sorted(out.values()) == [1, 3, 7, 9]
+        assert out[0] == 1
