@@ -8,8 +8,9 @@ it under ``benchmarks/results/`` so the output survives pytest's capture
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.ir.printer import format_table
 
@@ -32,3 +33,31 @@ def emit_table(
     text = format_table(headers, rows, title=title)
     emit(name, text)
     return text
+
+
+def emit_profile(name: str, source, title: Optional[str] = None) -> str:
+    """Persist an observability breakdown to results/<name>_profile.txt.
+
+    ``source`` is anything :func:`repro.analysis.reporting.trace_summary`
+    accepts: a live observer, a record list, or a JSONL trace path.
+    """
+    from repro.analysis.reporting import trace_summary
+
+    text = trace_summary(source, title=title or name)
+    emit(f"{name}_profile", text)
+    return text
+
+
+@contextmanager
+def profiled(name: str, title: Optional[str] = None) -> Iterator:
+    """Capture an ``repro.obs`` trace around one benchmark body and emit
+    its per-phase breakdown::
+
+        with profiled("fig2_measurement") as observer:
+            run_measurement()
+    """
+    from repro import obs
+
+    with obs.capture() as observer:
+        yield observer
+    emit_profile(name, observer, title=title)

@@ -12,6 +12,7 @@ Quickstart::
     print(result.stats.cycles, result.verified)
 """
 
+from repro import obs
 from repro.core import (
     AllocationResult,
     Policy,
@@ -78,6 +79,7 @@ __all__ = [
     "measure_all",
     "measure_fu",
     "measure_registers",
+    "obs",
     "parse_program",
     "parse_trace",
     "synthesize_memory",

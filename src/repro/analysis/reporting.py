@@ -1,15 +1,31 @@
-"""Markdown compilation reports: everything about one compile, in one
-document — measured requirements, URSA's transformation log, the VLIW
-code, the occupancy chart, and the verification verdict."""
+"""Markdown compilation reports and observability-trace rendering.
+
+Two renderers live here:
+
+* :func:`compilation_report` — everything about one compile, in one
+  Markdown document: measured requirements, URSA's transformation log,
+  the VLIW code, the occupancy chart, and the verification verdict;
+* :func:`trace_summary` — the per-pass time/counter tables behind the
+  CLI's ``--profile`` flag, re-renderable from a live
+  :class:`~repro.obs.Observer` or a ``--trace out.jsonl`` file.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.analysis.visualize import pressure_profile, schedule_gantt
 from repro.core.measure import measure_all
 from repro.graph.dag import DependenceDAG
-from repro.ir.printer import format_trace
+from repro.ir.printer import format_table, format_trace
+from repro.obs import (
+    Observer,
+    aggregate_spans,
+    commit_log,
+    read_jsonl,
+    scalar_totals,
+)
 from repro.pipeline import CompilationResult
 
 
@@ -90,3 +106,109 @@ def compilation_report(
         lines.append("")
 
     return "\n".join(lines)
+
+
+# ======================================================================
+# Observability traces (repro.obs) -> summary tables.
+# ======================================================================
+TraceSource = Union[Observer, str, Path, Iterable[Mapping[str, Any]]]
+
+
+def _trace_records(source: TraceSource) -> List[Dict[str, Any]]:
+    """Normalize any trace source into a list of schema records.
+
+    Accepts a live (possibly unfinished) :class:`Observer`, a path to a
+    ``--trace`` JSONL file, or an already-loaded record list.  For a
+    live observer the counter/peak totals are synthesized if the capture
+    has not been finished yet, so the summary is always complete.
+    """
+    if isinstance(source, Observer):
+        records: List[Dict[str, Any]] = list(source.events)
+        have = {(r["type"], r["name"]) for r in records}
+        for name, total in sorted(source.counters.items()):
+            if ("counter", name) not in have:
+                records.append(
+                    {"type": "counter", "name": name, "t": 0.0, "total": total}
+                )
+        for name, total in sorted(source.peaks.items()):
+            if ("peak", name) not in have:
+                records.append(
+                    {"type": "peak", "name": name, "t": 0.0, "total": total}
+                )
+        return records
+    if isinstance(source, (str, Path)):
+        return read_jsonl(source)
+    return [dict(record) for record in source]
+
+
+def _format_total(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.3f}"
+
+
+def trace_summary(source: TraceSource, title: str = "observability trace") -> str:
+    """Render a trace as the ``--profile`` per-pass breakdown.
+
+    Three tables: span timings (sorted by total time), counter/peak
+    totals, and the allocator's committed-transformation log.  Sections
+    with no data are omitted; an empty trace renders a placeholder line.
+    """
+    records = _trace_records(source)
+    parts: List[str] = []
+
+    spans = aggregate_spans(records)
+    if spans:
+        rows = [
+            (
+                name,
+                int(stats["calls"]),
+                f"{stats['total'] * 1e3:.2f}",
+                f"{stats['mean'] * 1e3:.3f}",
+                f"{stats['max'] * 1e3:.3f}",
+            )
+            for name, stats in sorted(
+                spans.items(), key=lambda item: -item[1]["total"]
+            )
+        ]
+        parts.append(
+            format_table(
+                ("span", "calls", "total ms", "mean ms", "max ms"),
+                rows,
+                title=f"{title} — per-pass timing",
+            )
+        )
+
+    counters = scalar_totals(records, "counter")
+    peaks = scalar_totals(records, "peak")
+    if counters or peaks:
+        rows = [(name, _format_total(value)) for name, value in sorted(counters.items())]
+        rows.extend(
+            (f"{name} (peak)", _format_total(value))
+            for name, value in sorted(peaks.items())
+        )
+        parts.append(
+            format_table(("counter", "value"), rows, title=f"{title} — counters")
+        )
+
+    commits = commit_log(records)
+    if commits:
+        rows = [
+            (
+                commit.get("iteration", "?"),
+                commit.get("kind", "?"),
+                f"{commit.get('excess_before', '?')}->{commit.get('excess_after', '?')}",
+                f"{commit.get('cp_before', '?')}->{commit.get('cp_after', '?')}",
+                commit.get("spills_added", 0),
+            )
+            for commit in commits
+        ]
+        parts.append(
+            format_table(
+                ("it", "kind", "excess", "critical path", "spills"),
+                rows,
+                title=f"{title} — committed transformations",
+            )
+        )
+
+    if not parts:
+        return f"{title}: no records"
+    return "\n\n".join(parts)

@@ -80,6 +80,18 @@ def _add_common(parser: argparse.ArgumentParser, kernels: bool = True) -> None:
         "--classed", action="store_true",
         help="use a classed machine (alu/mul/mem/branch) instead of homogeneous",
     )
+    _add_observability(parser)
+
+
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="write a JSONL observability trace (see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a per-pass time/counter table on stderr",
+    )
 
 
 # ======================================================================
@@ -224,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--classed", action="store_true")
     p.add_argument("--method", choices=METHODS, default="ursa")
     p.add_argument("--factors", default="1,2,4,8")
+    _add_observability(p)
     p.set_defaults(func=cmd_pipeline)
 
     return parser
@@ -235,7 +248,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # `--kernel` only exists on some subcommands.
     if not hasattr(args, "kernel"):
         args.kernel = None
-    return args.func(args)
+
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if not trace_path and not profile:
+        return args.func(args)
+
+    from repro import obs
+    from repro.analysis.reporting import trace_summary
+
+    if trace_path and not Path(trace_path).parent.is_dir():
+        raise SystemExit(f"--trace: directory of {trace_path!r} does not exist")
+
+    with obs.capture() as observer:
+        code = args.func(args)
+    if trace_path:
+        observer.write_jsonl(trace_path)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    if profile:
+        print(trace_summary(observer, title=args.command), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.measure import (
     ExcessiveChainSet,
     ResourceKind,
@@ -120,7 +121,8 @@ class URSAAllocator:
         # excess lexicographically dominant for the whole run.
         self._excess_weight = 1 + 8 * (len(dag) + 16)
 
-        requirements = measure_all(dag, self.machine)
+        with obs.span("allocate.measure", iteration=0):
+            requirements = measure_all(dag, self.machine)
         initial_excess = sum(r.excess for r in requirements)
         budget = self.max_iterations or (4 * initial_excess + 16)
 
@@ -130,13 +132,22 @@ class URSAAllocator:
 
         while not converged and iteration < budget:
             iteration += 1
-            step = self._step(dag, requirements, iteration)
+            with obs.span("allocate.reduce", iteration=iteration):
+                step = self._step(dag, requirements, iteration)
             if step is None:
                 break
             dag, requirements, record = step
             records.append(record)
             converged = sum(r.excess for r in requirements) == 0
 
+        obs.event(
+            "allocate.done",
+            policy=self.policy.value,
+            converged=converged,
+            iterations=iteration,
+            transformations=len(records),
+            excess=sum(r.excess for r in requirements),
+        )
         return AllocationResult(
             dag=dag,
             machine=self.machine,
@@ -209,8 +220,20 @@ class URSAAllocator:
                 fallbacks.extend(self._fallback_candidates(dag, requirement))
             best = self._best_candidate(fallbacks, current_weighted)
         if best is None:
+            obs.event("allocate.stuck", iteration=iteration)
             return None
         score, new_dag, new_reqs, candidate = best
+        obs.event(
+            "allocate.commit",
+            iteration=iteration,
+            kind=candidate.kind,
+            description=candidate.description,
+            spills_added=candidate.spills_added,
+            excess_before=sum(r.excess for r in requirements),
+            excess_after=sum(r.excess for r in new_reqs),
+            cp_before=current_cp,
+            cp_after=score[1],
+        )
         record = TransformationRecord(
             iteration=iteration,
             kind=candidate.kind,
@@ -252,10 +275,12 @@ class URSAAllocator:
         best: Optional[
             Tuple[Tuple, DependenceDAG, List[ResourceRequirement], TransformCandidate]
         ] = None
+        obs.count("allocate.candidates", len(candidates))
         for candidate in candidates:
             try:
                 new_dag = candidate.apply()
             except TransformError:
+                obs.count("allocate.candidates_illegal")
                 continue
             new_reqs = measure_all(new_dag, self.machine)
             new_excess = self._weighted_excess(new_reqs)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.core.reuse import ValueInfo
 from repro.graph.dag import DependenceDAG
 
@@ -88,8 +89,10 @@ def select_kill(
         else:
             contested[value.name] = candidates
 
+    obs.count("kill.selections")
     if not contested:
         return KillAssignment(kill, frozenset(), exact=True)
+    obs.count("kill.contested_values", len(contested))
 
     universe = sorted(contested)
     candidate_nodes = sorted({c for cands in contested.values() for c in cands})
@@ -103,9 +106,11 @@ def select_kill(
     if len(candidate_nodes) <= exact_limit:
         chosen = _exact_min_cover(universe, candidate_nodes, covers)
         exact = True
+        obs.count("kill.exact_covers")
     else:
         chosen = _greedy_min_cover(universe, candidate_nodes, covers)
         exact = False
+        obs.count("kill.greedy_covers")
 
     chosen_set = set(chosen)
     depth = dag.asap()

@@ -17,6 +17,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.kill import KillAssignment, select_kill
 from repro.core.reuse import (
     ValueInfo,
@@ -119,6 +120,8 @@ def measure_fu(
     decomposition = minimum_chain_decomposition(
         order, priority=analysis.edge_priority
     )
+    obs.count("measure.fu_requirements")
+    obs.peak("measure.fu_width_peak", decomposition.width)
     return ResourceRequirement(
         kind=ResourceKind.FUNCTIONAL_UNIT,
         cls=fu_class,
@@ -150,6 +153,8 @@ def measure_registers(
         return analysis.edge_priority(element_node[a], element_node[b])
 
     decomposition = minimum_chain_decomposition(order, priority=priority)
+    obs.count("measure.reg_requirements")
+    obs.peak("measure.reg_width_peak", decomposition.width)
     return ResourceRequirement(
         kind=ResourceKind.REGISTER,
         cls=reg_class,
@@ -188,14 +193,17 @@ def measure_all(
     analysis: Optional[HammockAnalysis] = None,
 ) -> List[ResourceRequirement]:
     """Measure every FU class and register class of the machine."""
-    analysis = analysis or HammockAnalysis(dag)
-    results = [
-        measure_fu(dag, machine, fu.name, analysis) for fu in machine.fu_classes
-    ]
-    results.extend(
-        measure_registers(dag, machine, cls, analysis)
-        for cls in sorted(machine.registers)
-    )
+    with obs.span("measure.all", nodes=len(dag)):
+        obs.count("measure.calls")
+        analysis = analysis or HammockAnalysis(dag)
+        results = [
+            measure_fu(dag, machine, fu.name, analysis)
+            for fu in machine.fu_classes
+        ]
+        results.extend(
+            measure_registers(dag, machine, cls, analysis)
+            for cls in sorted(machine.registers)
+        )
     return results
 
 
@@ -361,6 +369,7 @@ def find_excessive_sets(
             )
         )
 
+    obs.count("measure.excessive_sets", len(results))
     if not results or scope == "all":
         return results
     if scope == "innermost":

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.measure import ExcessiveChainSet
 from repro.core.transforms.base import TransformCandidate
 from repro.graph.dag import DependenceDAG
@@ -101,6 +102,7 @@ def propose_fu_sequencing(
         if key in seen_edge_sets:
             continue
         seen_edge_sets.add(key)
+        obs.count("transform.fu_seq.edges", len(edges))
 
         def make_edits(edge_list: List[Tuple[int, int]]):
             def edits(target: DependenceDAG) -> None:
@@ -121,4 +123,5 @@ def propose_fu_sequencing(
                 preference=0,
             )
         )
+    obs.count("transform.fu_seq.proposed", len(candidates))
     return candidates

@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Sequence, Tuple
 
+from repro import obs
 from repro.core.measure import ExcessiveChainSet, ResourceKind
 from repro.core.transforms.base import TransformCandidate, maximal_nodes, minimal_nodes
 from repro.graph.dag import DependenceDAG
@@ -209,4 +210,5 @@ def propose_register_sequencing(
                 preference=0,
             )
         )
+    obs.count("transform.reg_seq.proposed", len(candidates))
     return candidates

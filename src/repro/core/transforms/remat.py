@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.core.measure import ExcessiveChainSet, ResourceKind
 from repro.core.transforms.base import TransformCandidate
 from repro.core.transforms.spill import _frontier_after
@@ -78,6 +79,7 @@ def propose_rematerializations(
     for chain in ecs.chains:
         for name in chain:
             if len(candidates) >= MAX_REMAT_CANDIDATES:
+                obs.count("transform.remat.proposed", len(candidates))
                 return candidates
             if not is_rematerializable(dag, name):
                 continue
@@ -132,4 +134,5 @@ def propose_rematerializations(
                     preference=1,
                 )
             )
+    obs.count("transform.remat.proposed", len(candidates))
     return candidates

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro import obs
 from repro.core.measure import ExcessiveChainSet, ResourceKind
 from repro.core.transforms.base import TransformCandidate, maximal_nodes, minimal_nodes
 from repro.graph.dag import DependenceDAG
@@ -187,6 +188,7 @@ def propose_spills(
                         preference=1,
                     )
                 )
+    obs.count("transform.spill.proposed", len(candidates))
     return candidates
 
 

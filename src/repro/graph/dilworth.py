@@ -23,6 +23,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.graph.matching import (
     PrioritizedMatcher,
     hopcroft_karp,
@@ -205,6 +206,8 @@ def minimum_chain_decomposition(
         while chain[-1] in match:
             chain.append(match[chain[-1]])
         chains.append(chain)
+    obs.count("dilworth.decompositions")
+    obs.count("dilworth.matched_pairs", len(match))
     return ChainDecomposition(order, chains, successor=dict(match))
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.graph.dag import DependenceDAG
 
 
@@ -132,6 +133,8 @@ class HammockAnalysis:
                     found.append(Hammock(u, v, nodes))
         found.sort(key=lambda h: (-len(h.nodes), self.index[h.entry]))
         self._hammocks = found
+        obs.count("hammock.enumerations")
+        obs.count("hammock.regions", len(found))
         return found
 
     def nesting_levels(self) -> Dict[int, int]:
@@ -143,6 +146,7 @@ class HammockAnalysis:
             for uid in hammock.nodes:
                 levels[uid] += 1
         self._levels = levels
+        obs.peak("hammock.nesting_peak", max(levels.values(), default=0))
         return levels
 
     def edge_priority(self, a: int, b: int) -> int:

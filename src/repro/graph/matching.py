@@ -17,6 +17,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
+
 Node = Hashable
 Edge = Tuple[Node, Node]
 
@@ -55,6 +57,7 @@ class PrioritizedMatcher:
             if left not in self.match_left:
                 if self._augment(left, set()):
                     gained += 1
+        obs.count("matching.augmenting_paths", gained)
         return gained
 
     def _augment(self, left: Node, visited: Set[Node]) -> bool:
@@ -179,7 +182,10 @@ def hopcroft_karp(
                     dfs(u)
     finally:
         sys.setrecursionlimit(old_limit)
-    return {u: v for u, v in match_left.items() if v is not None}
+    matched = {u: v for u, v in match_left.items() if v is not None}
+    obs.count("matching.hk_calls")
+    obs.peak("matching.size_peak", len(matched))
+    return matched
 
 
 def minimum_vertex_cover(

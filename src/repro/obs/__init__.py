@@ -1,0 +1,63 @@
+"""``repro.obs`` — the allocator's observability layer.
+
+Span-style timers, monotonic counters, peak gauges, and a structured
+JSONL event log, threaded through the measure → reduce → assign
+pipeline.  Disabled by default with near-zero overhead; see
+``docs/observability.md`` for the event schema and a worked example.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.capture() as trace:
+        compile_trace(source, machine)
+    trace.write_jsonl("out.jsonl")
+    print(trace.counters)
+
+or, from the command line, ``python -m repro compile --kernel figure2
+--profile --trace out.jsonl``.
+"""
+
+from repro.obs.observer import (
+    Observer,
+    ObserverError,
+    Span,
+    active,
+    capture,
+    count,
+    event,
+    peak,
+    span,
+)
+from repro.obs.schema import (
+    RECORD_TYPES,
+    RESERVED_KEYS,
+    SCHEMA_VERSION,
+    SchemaError,
+    aggregate_spans,
+    commit_log,
+    read_jsonl,
+    scalar_totals,
+    validate_record,
+)
+
+__all__ = [
+    "Observer",
+    "ObserverError",
+    "RECORD_TYPES",
+    "RESERVED_KEYS",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Span",
+    "active",
+    "aggregate_spans",
+    "capture",
+    "commit_log",
+    "count",
+    "event",
+    "peak",
+    "read_jsonl",
+    "scalar_totals",
+    "span",
+    "validate_record",
+]

@@ -1,0 +1,124 @@
+"""The trace event schema (documented in ``docs/observability.md``).
+
+A trace is a JSON-Lines stream.  Every record is a flat JSON object
+with at least ``type``, ``name`` and ``t`` (seconds since capture
+start); the remaining keys depend on the record type:
+
+``meta``
+    First record of every trace: ``schema`` (this format's version).
+``span``
+    A timed region, written when it *closes*: ``dur`` (seconds) and
+    ``depth`` (nesting level at entry), plus any user fields.
+``event``
+    A point-in-time occurrence: ``depth`` plus any user fields.
+``counter``
+    Final total of one monotonic counter: ``total``.  Written once per
+    counter when the capture finishes.
+``peak``
+    Final maximum of one high-water-mark gauge: ``total``.
+
+User fields must avoid the reserved keys and be JSON-serializable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
+
+#: Bumped whenever a reader of old traces would misinterpret new ones.
+SCHEMA_VERSION = 1
+
+#: Keys the observer itself writes; user fields may not collide.
+RESERVED_KEYS = frozenset({"type", "name", "t", "dur", "depth", "total", "schema"})
+
+#: Every valid value of the ``type`` key.
+RECORD_TYPES = ("meta", "span", "event", "counter", "peak")
+
+
+class SchemaError(ValueError):
+    """A trace record does not conform to the documented schema."""
+
+
+def validate_record(record: Mapping[str, Any]) -> None:
+    """Raise :class:`SchemaError` unless ``record`` matches the schema."""
+    kind = record.get("type")
+    if kind not in RECORD_TYPES:
+        raise SchemaError(f"unknown record type {kind!r}")
+    if not isinstance(record.get("name"), str):
+        raise SchemaError(f"record missing string 'name': {record!r}")
+    if not isinstance(record.get("t"), (int, float)):
+        raise SchemaError(f"record missing numeric 't': {record!r}")
+    if kind == "meta" and not isinstance(record.get("schema"), int):
+        raise SchemaError("meta record missing integer 'schema'")
+    if kind == "span":
+        if not isinstance(record.get("dur"), (int, float)):
+            raise SchemaError(f"span missing numeric 'dur': {record!r}")
+        if not isinstance(record.get("depth"), int):
+            raise SchemaError(f"span missing integer 'depth': {record!r}")
+    if kind in ("counter", "peak") and not isinstance(
+        record.get("total"), (int, float)
+    ):
+        raise SchemaError(f"{kind} record missing numeric 'total': {record!r}")
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load and validate a trace file written by ``Observer.write_jsonl``."""
+    records: List[Dict[str, Any]] = []
+    for line_no, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path}:{line_no}: not JSON: {exc}") from exc
+        validate_record(record)
+        records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Aggregation (shared by the --profile table and the reporting renderer).
+# ----------------------------------------------------------------------
+def aggregate_spans(
+    records: Iterable[Mapping[str, Any]],
+) -> Dict[str, Dict[str, float]]:
+    """Per-span-name timing stats: calls, total/mean/max duration."""
+    stats: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        entry = stats.setdefault(
+            record["name"], {"calls": 0, "total": 0.0, "max": 0.0}
+        )
+        entry["calls"] += 1
+        entry["total"] += record["dur"]
+        entry["max"] = max(entry["max"], record["dur"])
+    for entry in stats.values():
+        entry["mean"] = entry["total"] / entry["calls"]
+    return stats
+
+
+def scalar_totals(
+    records: Iterable[Mapping[str, Any]],
+    kind: str,
+) -> Dict[str, float]:
+    """Final values of every ``counter`` or ``peak`` record, by name."""
+    if kind not in ("counter", "peak"):
+        raise ValueError(f"kind must be 'counter' or 'peak', not {kind!r}")
+    return {
+        record["name"]: record["total"]
+        for record in records
+        if record.get("type") == kind
+    }
+
+
+def commit_log(
+    records: Iterable[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """The allocator's committed-transformation events, in order."""
+    return [
+        dict(record)
+        for record in records
+        if record.get("type") == "event" and record["name"] == "allocate.commit"
+    ]

@@ -12,6 +12,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.analysis.metrics import ScheduleStats
 from repro.core.allocator import AllocationResult, Policy, URSAAllocator
 from repro.core.codegen import lower_schedule
@@ -132,47 +133,56 @@ def compile_trace(
         )
         source, _ = _optimize(instructions, live_out=live_out)
 
-    dag = build_dag(source, live_out=live_out)
+    with obs.span("phase.build_dag", method=method):
+        dag = build_dag(source, live_out=live_out)
     allocation: Optional[AllocationResult] = None
 
     if method in _URSA_POLICIES:
         from repro.core.assignment import assign
 
-        allocation = URSAAllocator(machine, _URSA_POLICIES[method]).run(dag)
-        schedule = assign(
-            allocation.dag, machine, allocation, backend=assignment
-        ).schedule
+        with obs.span("phase.allocate", method=method):
+            allocation = URSAAllocator(machine, _URSA_POLICIES[method]).run(dag)
+        with obs.span("phase.assign", method=method):
+            schedule = assign(
+                allocation.dag, machine, allocation, backend=assignment
+            ).schedule
         final_dag = allocation.dag
     elif method == "prepass":
-        schedule = compile_prepass(dag, machine)
+        with obs.span("phase.schedule", method=method):
+            schedule = compile_prepass(dag, machine)
         final_dag = dag
     elif method == "postpass":
-        schedule = compile_postpass(dag, machine)
+        with obs.span("phase.schedule", method=method):
+            schedule = compile_postpass(dag, machine)
         final_dag = dag
     elif method == "goodman-hsu":
-        schedule = compile_goodman_hsu(dag, machine)
+        with obs.span("phase.schedule", method=method):
+            schedule = compile_goodman_hsu(dag, machine)
         final_dag = dag
     else:  # naive: allocate on source order, pack without reordering
-        order = dag.source_order or sorted(dag.op_nodes())
-        source_insts = [dag.instruction(uid) for uid in order]
-        live_ins = sorted(
-            name for name, d in dag.value_defs.items() if d == dag.entry
-        )
-        outcome = LinearScanAllocator(machine).run(
-            source_insts, live_ins=live_ins, live_outs=sorted(dag.live_out)
-        )
-        schedule = pack_in_order(outcome.instructions, machine, outcome)
+        with obs.span("phase.schedule", method=method):
+            order = dag.source_order or sorted(dag.op_nodes())
+            source_insts = [dag.instruction(uid) for uid in order]
+            live_ins = sorted(
+                name for name, d in dag.value_defs.items() if d == dag.entry
+            )
+            outcome = LinearScanAllocator(machine).run(
+                source_insts, live_ins=live_ins, live_outs=sorted(dag.live_out)
+            )
+            schedule = pack_in_order(outcome.instructions, machine, outcome)
         final_dag = dag
 
-    program = lower_schedule(schedule)
+    with obs.span("phase.codegen", method=method):
+        program = lower_schedule(schedule)
 
     simulation: Optional[SimulationResult] = None
     verified: Optional[bool] = None
     if verify:
         init_memory = memory if memory is not None else synthesize_memory(dag, seed)
-        simulation, verified = _verify(
-            dag, program, machine, init_memory, schedule.live_out_regs
-        )
+        with obs.span("phase.verify", method=method):
+            simulation, verified = _verify(
+                dag, program, machine, init_memory, schedule.live_out_regs
+            )
         if not verified:
             raise PipelineError(
                 f"{method} on {machine.name}: simulated memory diverges "

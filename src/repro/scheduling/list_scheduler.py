@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.graph.dag import DependenceDAG, EdgeKind
 from repro.ir.instructions import Addr, Instruction, Var
 from repro.ir.opcodes import Opcode
@@ -320,6 +321,7 @@ class ListScheduler:
                     still_deferred.append((when, ref))
             deferred_frees = still_deferred
 
+            obs.count("sched.cycles")
             ready: List[Tuple[int, int]] = []  # (uid, earliest)
             blocked_spilled: List[int] = []
             for uid in ops_todo:
@@ -331,6 +333,8 @@ class ListScheduler:
                     continue
                 if earliest <= cycle:
                     ready.append((uid, earliest))
+            obs.count("sched.ready_total", len(ready))
+            obs.peak("sched.ready_peak", len(ready))
 
             # Reload requests for spilled inputs of otherwise-ready nodes.
             reload_candidates: List[str] = []
@@ -469,10 +473,13 @@ class ListScheduler:
                     )
                     if outcome == "spilled":
                         spill_count += 1
+                        obs.count("sched.emergency_spills")
                         issued_this_cycle = True
                     elif outcome == "dropped":
                         issued_this_cycle = True
 
+            if not issued_this_cycle:
+                obs.count("sched.stall_cycles")
             cycle += 1
 
         # Reload any spilled live-out values so they end in registers.
@@ -516,6 +523,13 @@ class ListScheduler:
                 live_out_regs[name] = state.reg
 
         scheduled.sort(key=lambda op: (op.cycle, op.fu_class, op.fu_index))
+        obs.event(
+            "sched.done",
+            length=length,
+            ops=len(scheduled),
+            spills=spill_count,
+            respect_registers=self.respect_registers,
+        )
         return Schedule(
             machine=self.machine,
             ops=scheduled,
@@ -695,6 +709,7 @@ class ListScheduler:
         reg = alloc_reg(state.reg_class)
         if reg is None:
             return False
+        obs.count("sched.reloads")
         new_name = f"{state.original}@r{next(self._reload_counter)}"
         inst = Instruction(Opcode.RELOAD, dest=new_name, addr=state.spill_addr)
         self._occupy_fu(slot, cycle, inst.op, fu_free_at)

@@ -1,0 +1,104 @@
+"""Documentation health checks.
+
+Keeps the docs honest as the code moves:
+
+* every fenced ``python`` code block in ``README.md`` and ``docs/*.md``
+  must parse (``ast.parse``) — snippets with stale syntax fail CI;
+* every relative markdown link must point at a file that exists;
+* every module path a doc mentions (``src/repro/...`` or a
+  ``package/module.py`` table entry) must exist.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+# [text](target) — skip images and external/anchor targets below.
+LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+MODULE_REF = re.compile(r"`((?:src/)?repro/[\w/]+\.py|[a-z_]+/[a-z_]+\.py)`")
+
+
+def _doc_id(path: Path) -> str:
+    return str(path.relative_to(REPO))
+
+
+def fenced_blocks(path: Path):
+    """Yield (first_line_number, language, source) per fenced block."""
+    language = None
+    start = 0
+    lines: list = []
+    for number, line in enumerate(path.read_text().splitlines(), 1):
+        fence = FENCE.match(line)
+        if fence and language is None:
+            language = fence.group(1).lower()
+            start = number + 1
+            lines = []
+        elif line.strip() == "```" and language is not None:
+            yield start, language, "\n".join(lines)
+            language = None
+        elif language is not None:
+            lines.append(line)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_python_snippets_parse(doc):
+    checked = 0
+    for line, language, source in fenced_blocks(doc):
+        if language != "python":
+            continue
+        try:
+            ast.parse(source)
+        except SyntaxError as error:
+            pytest.fail(
+                f"{_doc_id(doc)} line {line}: python snippet does not "
+                f"parse: {error}"
+            )
+        checked += 1
+    if doc.name == "observability.md":
+        assert checked > 0, f"{_doc_id(doc)} lost its python examples"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_relative_links_resolve(doc):
+    in_fence = False
+    for line in doc.read_text().splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (doc.parent / target).resolve()
+            assert resolved.exists(), (
+                f"{_doc_id(doc)}: broken relative link {target!r}"
+            )
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_referenced_modules_exist(doc):
+    for match in MODULE_REF.finditer(doc.read_text()):
+        reference = match.group(1)
+        candidates = [REPO / reference, REPO / "src" / reference,
+                      REPO / "src" / "repro" / reference]
+        assert any(c.exists() for c in candidates), (
+            f"{_doc_id(doc)}: references missing module `{reference}`"
+        )
+
+
+def test_doc_set_is_nonempty():
+    names = {d.name for d in DOC_FILES}
+    assert {"README.md", "architecture.md", "observability.md",
+            "paper_mapping.md", "algorithms.md"} <= names

@@ -1,0 +1,282 @@
+"""Tests for the observability layer (``repro.obs``).
+
+Covers the contract in docs/observability.md: disabled-by-default (no
+events recorded, no observer active), span nesting via the ``depth``
+field, counter/peak totals, the JSONL round trip through the schema
+validator and the reporting renderer, and the CLI ``--trace`` /
+``--profile`` flags.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import MachineModel, compile_trace, obs
+from repro.analysis.reporting import trace_summary
+from repro.cli import main
+from repro.obs import (
+    Observer,
+    ObserverError,
+    SCHEMA_VERSION,
+    SchemaError,
+    aggregate_spans,
+    commit_log,
+    read_jsonl,
+    scalar_totals,
+    validate_record,
+)
+from repro.workloads.kernels import kernel
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestDisabledByDefault:
+    def test_no_observer_active(self):
+        assert obs.active() is None
+
+    def test_calls_are_noops_without_capture(self):
+        # None of these may raise or record anything anywhere.
+        with obs.span("nothing", detail=1):
+            obs.count("nothing", 5)
+            obs.peak("nothing", 5)
+            obs.event("nothing", detail=1)
+        assert obs.active() is None
+
+    def test_pipeline_emits_nothing_when_disabled(self, fig2_trace):
+        machine = MachineModel.homogeneous(2, 3)
+        compile_trace(fig2_trace, machine, method="ursa")
+        # A capture opened *afterwards* must start empty: nothing leaked.
+        with obs.capture() as trace:
+            pass
+        assert trace.counters == {}
+        assert [r["type"] for r in trace.events][0] == "meta"
+        assert all(r["type"] in ("meta", "counter", "peak") for r in trace.events)
+
+    def test_capture_is_scoped(self):
+        with obs.capture() as trace:
+            obs.count("inside")
+        obs.count("outside")  # after exit: no-op
+        assert trace.counters == {"inside": 1}
+
+
+class TestSpansAndEvents:
+    def test_span_nesting_depths(self):
+        with obs.capture(clock=FakeClock()) as trace:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    obs.event("tick")
+        spans = {r["name"]: r for r in trace.events if r["type"] == "span"}
+        assert spans["outer"]["depth"] == 0
+        assert spans["inner"]["depth"] == 1
+        event = next(r for r in trace.events if r["type"] == "event")
+        assert event["depth"] == 2  # inside both spans
+        # Spans close inner-first, so the inner record precedes the outer.
+        names = [r["name"] for r in trace.events if r["type"] == "span"]
+        assert names == ["inner", "outer"]
+
+    def test_span_durations_from_clock(self):
+        with obs.capture(clock=FakeClock(step=1.0)) as trace:
+            with obs.span("timed"):
+                pass
+        span = next(r for r in trace.events if r["type"] == "span")
+        assert span["dur"] == pytest.approx(1.0)
+
+    def test_user_fields_are_flat(self):
+        with obs.capture() as trace:
+            obs.event("custom", kind="spill", excess=3)
+        event = next(r for r in trace.events if r["name"] == "custom")
+        assert event["kind"] == "spill" and event["excess"] == 3
+
+    def test_reserved_field_names_rejected(self):
+        with obs.capture():
+            with pytest.raises(ObserverError):
+                obs.event("bad", dur=1.0)
+            with pytest.raises(ObserverError):
+                obs.span("bad", type="span")
+
+    def test_emit_after_finish_rejected(self):
+        with obs.capture() as trace:
+            pass
+        with pytest.raises(ObserverError):
+            trace.event("late")
+
+
+class TestCountersAndPeaks:
+    def test_counter_totals(self):
+        with obs.capture() as trace:
+            obs.count("a")
+            obs.count("a", 4)
+            obs.count("b", 2)
+        assert trace.counters == {"a": 5, "b": 2}
+        totals = scalar_totals(trace.events, "counter")
+        assert totals == {"a": 5, "b": 2}
+
+    def test_peak_keeps_maximum(self):
+        with obs.capture() as trace:
+            obs.peak("width", 3)
+            obs.peak("width", 7)
+            obs.peak("width", 5)
+        assert trace.peaks == {"width": 7}
+        assert scalar_totals(trace.events, "peak") == {"width": 7}
+
+    def test_counters_written_once_on_finish(self):
+        with obs.capture() as trace:
+            obs.count("x", 2)
+            obs.count("x", 3)
+        records = [r for r in trace.events if r["type"] == "counter"]
+        assert len(records) == 1
+        assert records[0]["name"] == "x" and records[0]["total"] == 5
+
+
+class TestPipelineInstrumentation:
+    @pytest.fixture(scope="class")
+    def fig2_capture(self):
+        machine = MachineModel.homogeneous(2, 3)
+        with obs.capture() as trace:
+            result = compile_trace(kernel("figure2"), machine, method="ursa")
+        return trace, result
+
+    def test_phase_spans_present(self, fig2_capture):
+        trace, _ = fig2_capture
+        names = {r["name"] for r in trace.events if r["type"] == "span"}
+        assert {"phase.build_dag", "phase.allocate", "phase.assign",
+                "phase.codegen", "phase.verify"} <= names
+
+    def test_commit_events_match_allocation_records(self, fig2_capture):
+        trace, result = fig2_capture
+        commits = commit_log(trace.events)
+        assert len(commits) == len(result.allocation.records)
+        for event, record in zip(commits, result.allocation.records):
+            assert event["kind"] == record.kind
+            assert event["iteration"] == record.iteration
+            assert event["excess_after"] == record.excess_after
+
+    def test_hot_path_counters_fired(self, fig2_capture):
+        trace, _ = fig2_capture
+        for counter in (
+            "matching.augmenting_paths",
+            "dilworth.decompositions",
+            "measure.calls",
+            "kill.selections",
+            "allocate.candidates",
+            "sched.cycles",
+        ):
+            assert trace.counters.get(counter, 0) > 0, counter
+
+    def test_measured_widths_as_peaks(self, fig2_capture):
+        trace, _ = fig2_capture
+        # The paper's Figure 2 numbers: 4 FUs, 5 registers worst case.
+        assert trace.peaks["measure.fu_width_peak"] == 4
+        assert trace.peaks["measure.reg_width_peak"] == 5
+
+
+class TestJsonlRoundTrip:
+    def test_write_read_validate_render(self, tmp_path):
+        machine = MachineModel.homogeneous(2, 3)
+        with obs.capture() as trace:
+            compile_trace(kernel("figure2"), machine, method="ursa")
+        path = tmp_path / "trace.jsonl"
+        trace.write_jsonl(path)
+
+        records = read_jsonl(path)  # validates every record
+        assert records[0]["type"] == "meta"
+        assert records[0]["schema"] == SCHEMA_VERSION
+        assert len(records) == len(trace.events)
+
+        # The renderer accepts the file, the record list, and the live
+        # observer, and all three agree.
+        from_file = trace_summary(path)
+        from_records = trace_summary(records)
+        from_observer = trace_summary(trace)
+        assert from_file == from_records == from_observer
+        assert "phase.allocate" in from_file
+        assert "matching.augmenting_paths" in from_file
+        assert "committed transformations" in from_file
+
+    def test_streaming_sink_matches_memory(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with path.open("w") as sink:
+            with obs.capture(sink=sink) as trace:
+                with obs.span("s"):
+                    obs.count("c", 3)
+        streamed = [json.loads(line) for line in path.read_text().splitlines()]
+        assert streamed == trace.events
+
+    def test_unfinished_observer_still_renders_counters(self):
+        observer = Observer(clock=FakeClock())
+        observer.count("pending", 2)
+        text = trace_summary(observer)
+        assert "pending" in text
+
+    def test_invalid_records_rejected(self, tmp_path):
+        for bad in (
+            {"type": "nope", "name": "x", "t": 0.0},
+            {"type": "span", "name": "x", "t": 0.0},  # no dur/depth
+            {"type": "counter", "name": "x", "t": 0.0},  # no total
+            {"type": "event", "t": 0.0},  # no name
+        ):
+            with pytest.raises(SchemaError):
+                validate_record(bad)
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SchemaError):
+            read_jsonl(path)
+
+    def test_aggregate_spans(self):
+        records = [
+            {"type": "span", "name": "a", "t": 0.0, "dur": 1.0, "depth": 0},
+            {"type": "span", "name": "a", "t": 2.0, "dur": 3.0, "depth": 0},
+            {"type": "event", "name": "ignored", "t": 0.0, "depth": 0},
+        ]
+        stats = aggregate_spans(records)
+        assert stats["a"]["calls"] == 2
+        assert stats["a"]["total"] == pytest.approx(4.0)
+        assert stats["a"]["mean"] == pytest.approx(2.0)
+        assert stats["a"]["max"] == pytest.approx(3.0)
+
+
+class TestCli:
+    def test_profile_flag_prints_table(self, capsys):
+        assert main(
+            ["compile", "--kernel", "figure2", "--fus", "2", "--regs", "3",
+             "--profile"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "verified=True" in captured.out
+        assert "per-pass timing" in captured.err
+        assert "phase.allocate" in captured.err
+
+    def test_trace_flag_writes_valid_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "out.jsonl"
+        assert main(
+            ["compile", "--kernel", "figure2", "--trace", str(path)]
+        ) == 0
+        records = read_jsonl(path)
+        names = {r["name"] for r in records}
+        assert "phase.allocate" in names
+        assert "trace written" in capsys.readouterr().err
+
+    def test_measure_profile(self, capsys):
+        assert main(
+            ["measure", "--kernel", "figure2", "--fus", "3", "--regs", "4",
+             "--profile"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "measure.calls" in err
+
+    def test_flags_off_is_silent(self, capsys):
+        assert main(["measure", "--kernel", "figure2"]) == 0
+        assert capsys.readouterr().err == ""
