@@ -61,3 +61,30 @@ def profiled(name: str, title: Optional[str] = None) -> Iterator:
     with obs.capture() as observer:
         yield observer
     emit_profile(name, observer, title=title)
+
+
+def timeit_median(fn, repeats: int = 9, warmup: int = 2) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs.
+
+    Medians are robust to the one-off GC/allocation spikes that plague
+    sub-millisecond pipeline timings; used by the verifier-overhead
+    benchmark to compare configurations of the same compile.
+    """
+    import statistics
+    import time
+
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def overhead_pct(base: float, measured: float) -> float:
+    """Relative overhead of ``measured`` over ``base`` in percent."""
+    if base <= 0:
+        return float("inf")
+    return (measured / base - 1.0) * 100.0

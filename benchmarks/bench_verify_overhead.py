@@ -1,0 +1,72 @@
+"""Experiment V1: cost of the static verifier on the compile pipeline.
+
+Times the Figure 2 compile in four configurations on a constrained
+machine (2 FUs / 4 registers, so the URSA loop actually commits
+transforms):
+
+* ``bare``          — no static checks at all (``static_checks=False``);
+* ``static-checks`` — the default: schedule rules gate codegen;
+* ``verify-each``   — additionally re-verify the DAG + allocation-step
+  rules after every committed transform;
+* ``full-report``   — a complete post-hoc ``verify_compilation`` with
+  remeasurement, the ``repro verify`` CLI workload.
+
+The documented target (docs/verification.md) is under 15% overhead
+over the bare compile for both ``static-checks`` (the default) and
+``verify-each`` (the per-transform debugging mode, which stops the
+hammock pack at connectivity checks to stay inside that budget).
+"""
+
+from _common import emit_table, overhead_pct, timeit_median
+from repro.machine.model import MachineModel
+from repro.pipeline import compile_trace
+from repro.verify import verify_compilation
+from repro.workloads.kernels import paper_figure2
+
+MACHINE = MachineModel.homogeneous(2, 4)
+
+
+def _compile(**kwargs):
+    return compile_trace(
+        paper_figure2(), MACHINE, method="ursa", verify=False, **kwargs
+    )
+
+
+def test_verify_overhead():
+    result = _compile()
+
+    configs = [
+        ("bare", lambda: _compile(static_checks=False)),
+        ("static-checks", lambda: _compile(static_checks=True)),
+        (
+            "verify-each",
+            lambda: _compile(static_checks=True, verify_each=True),
+        ),
+        (
+            "full-report",
+            lambda: verify_compilation(result, remeasure=True),
+        ),
+    ]
+
+    timings = {
+        name: timeit_median(fn, repeats=15, warmup=3) for name, fn in configs
+    }
+    base = timings["bare"]
+    rows = [
+        (
+            name,
+            f"{seconds * 1e3:.2f}",
+            "-" if name == "bare" else f"{overhead_pct(base, seconds):+.1f}%",
+        )
+        for name, seconds in timings.items()
+    ]
+    emit_table(
+        "verify_overhead",
+        ("configuration", "median ms", "vs bare"),
+        rows,
+        title="figure2 on 2 FUs / 4 regs — static verifier cost",
+    )
+
+    # Both always-on and per-transform verification must stay cheap.
+    assert overhead_pct(base, timings["static-checks"]) < 15.0
+    assert overhead_pct(base, timings["verify-each"]) < 15.0

@@ -4,6 +4,7 @@ Subcommands:
 
 * ``measure``  — print measured worst-case requirements for a trace;
 * ``compile``  — compile one trace, print the VLIW code and stats;
+* ``verify``   — static invariant/lint report for a trace's compilation;
 * ``compare``  — compare all methods on one trace;
 * ``program``  — compile a whole multi-block program and execute it;
 * ``pipeline`` — unroll-and-allocate sweep for a canonical loop.
@@ -121,6 +122,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
     result = compile_trace(
         trace, machine, method=args.method,
         memory=memory or None,
+        verify_each=args.verify_each,
     )
     print(f"machine: {machine.describe()}   method: {args.method}")
     if args.show_source:
@@ -144,7 +146,29 @@ def cmd_compile(args: argparse.Namespace) -> int:
             compilation_report(result, title=f"{args.method} compilation")
         )
         print(f"report written to {args.report}")
+    if args.verify:
+        from repro.verify import verify_compilation
+
+        report = verify_compilation(result, remeasure=True)
+        print()
+        print(report.render())
+        return 0 if report.ok else 1
     return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    machine = _machine_from_args(args)
+    from repro.verify import verify_source
+
+    report = verify_source(
+        trace, machine, method=args.method, lint=not args.no_lint
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -216,7 +240,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gantt", action="store_true", help="ASCII occupancy chart")
     p.add_argument("--show-source", action="store_true")
     p.add_argument("--report", metavar="PATH", help="write a Markdown report")
+    p.add_argument(
+        "--verify", action="store_true",
+        help="print the full static verification report after compiling",
+    )
+    p.add_argument(
+        "--verify-each", action="store_true",
+        help="re-verify DAG invariants after every committed URSA transform",
+    )
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser(
+        "verify", help="static invariant/lint report (exit 1 on errors)"
+    )
+    _add_common(p)
+    p.add_argument("--method", choices=METHODS, default="ursa")
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json follows docs/observability.md schema)",
+    )
+    p.add_argument(
+        "--no-lint", action="store_true",
+        help="suppress the warning/info lint pack; errors only",
+    )
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("compare", help="compare methods on one trace")
     _add_common(p)

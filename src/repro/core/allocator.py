@@ -104,10 +104,15 @@ class URSAAllocator:
         machine: MachineModel,
         policy: Policy = Policy.INTEGRATED,
         max_iterations: Optional[int] = None,
+        verify_each: bool = False,
     ) -> None:
         self.machine = machine
         self.policy = policy
         self.max_iterations = max_iterations
+        #: Run the ``dag.*`` + ``alloc.*`` rule packs after every
+        #: committed transform (LLVM's ``-verify-each``); raises
+        #: :class:`repro.verify.VerifyError` at the first bad commit.
+        self.verify_each = verify_each
         self._excess_weight = 1  # set per run from the DAG size
 
     # ------------------------------------------------------------------
@@ -123,6 +128,8 @@ class URSAAllocator:
 
         with obs.span("allocate.measure", iteration=0):
             requirements = measure_all(dag, self.machine)
+        if self.verify_each:
+            self._verify_state(dag, requirements, "input dag")
         initial_excess = sum(r.excess for r in requirements)
         budget = self.max_iterations or (4 * initial_excess + 16)
 
@@ -138,6 +145,13 @@ class URSAAllocator:
                 break
             dag, requirements, record = step
             records.append(record)
+            if self.verify_each:
+                self._verify_state(
+                    dag,
+                    requirements,
+                    f"after iteration {iteration} ({record.kind}: "
+                    f"{record.description})",
+                )
             converged = sum(r.excess for r in requirements) == 0
 
         obs.event(
@@ -157,6 +171,20 @@ class URSAAllocator:
             converged=converged,
             iterations=iteration,
         )
+
+    # ------------------------------------------------------------------
+    def _verify_state(
+        self,
+        dag: DependenceDAG,
+        requirements: Sequence[ResourceRequirement],
+        context: str,
+    ) -> None:
+        from repro.verify import verify_dag_state  # lazy: optional mode
+
+        report = verify_dag_state(
+            dag, requirements, self.machine, artifact=context
+        )
+        report.raise_if_errors(f"verify_each {context}")
 
     # ------------------------------------------------------------------
     def _check_feasible(self, dag: DependenceDAG) -> None:

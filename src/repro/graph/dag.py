@@ -122,7 +122,9 @@ class DependenceDAG:
             if inst.dest is not None:
                 dag.value_defs[inst.dest] = inst.uid
         for inst in body:
-            for name in inst.uses():
+            # An instruction reading the same value in several operand
+            # slots (e.g. ``x = b * b``) is still a single user node.
+            for name in dict.fromkeys(inst.uses()):
                 def_uid = dag.value_defs.get(name)
                 if def_uid is None:
                     # Live-in: ENTRY is the defining node.
@@ -411,7 +413,9 @@ class DependenceDAG:
         Returns ``(spill_uid, reload_uid, reload_name)``.
         """
         def_uid = self.value_defs[value]
-        late = list(late_uses)
+        # Normalize once: tolerate generators and repeated use uids
+        # (retargeting the same use twice would double-count it).
+        late = list(dict.fromkeys(late_uses))
         if reload_name is None:
             new_name = f"{value}@r"
             suffix = 0
@@ -490,6 +494,9 @@ class DependenceDAG:
         original = self.instruction(def_uid)
         if original.dest != value:
             raise ValueError(f"{value!r} is not defined by node {def_uid}")
+        # Normalize once: ``late_uses`` may be a generator, and a
+        # repeated use uid must only be retargeted once.
+        late = list(dict.fromkeys(late_uses))
 
         if remat_name is None:
             remat_name = f"{value}@m"
@@ -518,7 +525,7 @@ class DependenceDAG:
                 ):
                     self._add_edge(uid, clone.uid, EdgeKind.SEQ, reason="mem")
 
-        for use_uid in list(late_uses):
+        for use_uid in late:
             if use_uid == self.exit:
                 if self.graph.has_edge(def_uid, self.exit):
                     self.graph.remove_edge(def_uid, self.exit)
@@ -541,7 +548,7 @@ class DependenceDAG:
             ]
             self.value_uses.setdefault(remat_name, []).append(use_uid)
 
-        if value in self.live_out and self.exit in list(late_uses):
+        if value in self.live_out and self.exit in late:
             self.live_out = (self.live_out - {value}) | {remat_name}
 
         self.source_order.append(clone.uid)

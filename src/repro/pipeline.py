@@ -105,6 +105,8 @@ def compile_trace(
     seed: int = 0,
     optimize: bool = False,
     assignment: str = "bind",
+    static_checks: bool = True,
+    verify_each: bool = False,
 ) -> CompilationResult:
     """Compile one trace with the chosen method.
 
@@ -114,6 +116,12 @@ def compile_trace(
     from ``seed`` unless ``memory`` is given).  ``optimize`` runs the
     classical scalar passes (folding, CSE, copy propagation, DCE) before
     allocation; it requires a trace input (not a prebuilt DAG).
+
+    ``static_checks`` runs the ``repro.verify`` schedule rule pack on
+    the final schedule *before* any simulation — a soundness break is
+    reported as the rule that caught it, not as a memory divergence.
+    ``verify_each`` additionally re-verifies the DAG after every
+    transform the URSA allocator commits (slow; for debugging passes).
     """
     if method not in METHODS:
         raise PipelineError(f"unknown method {method!r}; pick one of {METHODS}")
@@ -141,7 +149,9 @@ def compile_trace(
         from repro.core.assignment import assign
 
         with obs.span("phase.allocate", method=method):
-            allocation = URSAAllocator(machine, _URSA_POLICIES[method]).run(dag)
+            allocation = URSAAllocator(
+                machine, _URSA_POLICIES[method], verify_each=verify_each
+            ).run(dag)
         with obs.span("phase.assign", method=method):
             schedule = assign(
                 allocation.dag, machine, allocation, backend=assignment
@@ -171,6 +181,16 @@ def compile_trace(
             )
             schedule = pack_in_order(outcome.instructions, machine, outcome)
         final_dag = dag
+
+    if static_checks:
+        from repro.verify import verify_schedule
+
+        report = verify_schedule(schedule, dag=final_dag, machine=machine)
+        if not report.ok:
+            raise PipelineError(
+                f"{method} on {machine.name}: static schedule verification "
+                f"failed\n{report.render()}"
+            )
 
     with obs.span("phase.codegen", method=method):
         program = lower_schedule(schedule)

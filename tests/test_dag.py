@@ -165,3 +165,47 @@ class TestMutation:
 
         result = run_trace(fig2_dag.linearize(), {("v", 0): 6})
         assert result.stores_to("z") == {0: 25}
+
+
+class TestVerifierSurfacedRegressions:
+    """Fixes surfaced by running ``repro.verify`` over the seed code."""
+
+    def test_repeated_operand_records_one_use(self):
+        # `c = b * b` reads b twice but is a single user node; the old
+        # from_trace appended the uid once per operand occurrence.
+        dag = DependenceDAG.from_trace(
+            parse_trace("b = load [x]\nc = b * b\nstore [y], c")
+        )
+        users = dag.value_uses["b"]
+        assert len(users) == len(set(users)) == 1
+
+    def test_repeated_operand_verifies_clean(self):
+        from repro.verify import verify_dag
+
+        dag = DependenceDAG.from_trace(
+            parse_trace("b = load [x]\nc = b * b\nstore [y], c")
+        )
+        assert verify_dag(dag).ok
+
+    def test_insert_spill_accepts_generator_and_duplicates(self):
+        dag = DependenceDAG.from_trace(
+            parse_trace("a = load [x]\nb = a + 1\nc = a + 2\nstore [y], b\nstore [y+4], c")
+        )
+        uses = (u for u in [dag.value_defs["b"], dag.value_defs["c"],
+                            dag.value_defs["c"]])
+        _, reload_uid, new_name = dag.insert_spill("a", uses, Addr("%t", 0))
+        dag.check_invariants()
+        # Duplicated uid in the input must not double-record the use.
+        assert dag.value_uses[new_name].count(dag.value_defs["c"]) == 1
+
+    def test_insert_remat_generator_retargets_live_out(self):
+        dag = DependenceDAG.from_trace(
+            parse_trace("k = 5\na = load [x]\nb = a + k\nstore [y], b"),
+            live_out=("k",),
+        )
+        late = (u for u in [dag.exit])  # generator, consumed once
+        new_uid, new_name = dag.insert_remat("k", late)
+        dag.check_invariants()
+        # The rematerialized value must take over the live-out role.
+        assert new_name in dag.live_out and "k" not in dag.live_out
+        assert dag.graph.has_edge(new_uid, dag.exit)

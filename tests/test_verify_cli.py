@@ -1,0 +1,101 @@
+"""CLI coverage for ``repro verify`` and ``repro compile --verify``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.verify import REPORT_SCHEMA_VERSION, RULES, VerifyReport
+
+
+def test_verify_kernel_text(capsys):
+    assert main(["verify", "--kernel", "figure2", "--fus", "2", "--regs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "error(s)" in out
+
+
+def test_verify_kernel_json_schema(capsys):
+    code = main(
+        ["verify", "--kernel", "figure2", "--fus", "2", "--regs", "4",
+         "--format", "json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == REPORT_SCHEMA_VERSION
+    assert payload["ok"] is True
+    assert set(payload["counts"]) == {"error", "warning", "info"}
+    # The JSON output round-trips through the report API.
+    report = VerifyReport.from_dict(payload)
+    assert report.ok
+
+
+def test_verify_source_file(tmp_path, capsys):
+    src = tmp_path / "t.ursa"
+    src.write_text("a = load [x]\nb = a + 1\nstore [y], b\n")
+    assert main(["verify", str(src)]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_verify_exit_code_on_errors(monkeypatch, capsys):
+    # Rule detection is covered by test_verify_rules; here only the CLI
+    # contract (exit 1, rendered rule id) matters.
+    broken = VerifyReport(artifact="rigged")
+    broken.add(RULES["dag.cycle"].diag("rigged failure", location="n1"))
+
+    import repro.verify
+
+    monkeypatch.setattr(
+        repro.verify, "verify_source", lambda *a, **k: broken
+    )
+    assert main(["verify", "--kernel", "figure2"]) == 1
+    out = capsys.readouterr().out
+    assert "dag.cycle" in out
+
+
+def test_verify_no_lint_suppresses_warnings(tmp_path, capsys):
+    src = tmp_path / "dead.ursa"
+    # 'b' is computed but never stored: lint.unused-def material.
+    src.write_text("a = load [x]\nb = a + 1\nstore [y], a\n")
+    assert main(["verify", str(src)]) == 0
+    with_lint = capsys.readouterr().out
+    assert "lint.unused-def" in with_lint
+
+    assert main(["verify", str(src), "--no-lint"]) == 0
+    without = capsys.readouterr().out
+    assert "lint.unused-def" not in without
+
+
+def test_verify_method_flag(capsys):
+    for method in ("prepass", "goodman-hsu"):
+        assert main(["verify", "--kernel", "figure2", "--method", method]) == 0
+
+
+def test_compile_verify_flag(capsys):
+    code = main(
+        ["compile", "--kernel", "figure2", "--fus", "2", "--regs", "4",
+         "--verify"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_compile_verify_each_flag(capsys):
+    code = main(
+        ["compile", "--kernel", "figure2", "--fus", "2", "--regs", "4",
+         "--verify-each"]
+    )
+    assert code == 0
+
+
+def test_verify_profile_shows_verifier_spans(capsys):
+    code = main(
+        ["verify", "--kernel", "figure2", "--fus", "2", "--regs", "4",
+         "--profile"]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "verify.dag" in err
+    assert "verify.schedule" in err

@@ -1,0 +1,200 @@
+"""Fuzz cross-check: the static verifier vs. the execution oracle.
+
+Two properties, over randomized traces:
+
+1. **Soundness on good pipelines** — anything the pipeline produces and
+   the simulator accepts must pass every error-severity rule (no false
+   positives).
+2. **Coverage on broken artifacts** — whenever a corrupted schedule
+   makes the end-to-end oracle (simulate + compare against the
+   reference interpreter) reject, the static verifier must have flagged
+   an error *first*.  The verifier may be stricter than the oracle
+   (a mangled schedule can still luckily compute the right memory), but
+   never blinder.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.machine.model import MachineModel
+from repro.machine.simulator import SimulationError
+from repro.pipeline import (
+    compile_trace,
+    synthesize_memory,
+    verify_program,
+)
+from repro.core.codegen import lower_schedule
+from repro.verify import verify_compilation, verify_schedule
+from repro.workloads.random_dags import (
+    random_layered_trace,
+    random_series_parallel,
+    random_wide_trace,
+)
+
+MACHINES = [
+    MachineModel.homogeneous(2, 4),
+    MachineModel.homogeneous(4, 8),
+    MachineModel.classed(alu=2, mul=1, mem=2, branch=1, alu_regs=6),
+]
+
+GENERATORS = {
+    "layered": lambda seed: random_layered_trace(n_ops=24, width=5, seed=seed),
+    "series-parallel": lambda seed: random_series_parallel(
+        n_blocks=4, seed=seed
+    ),
+    "wide": lambda seed: random_wide_trace(
+        n_chains=4, chain_length=4, seed=seed
+    ),
+}
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.describe())
+@pytest.mark.parametrize("shape", sorted(GENERATORS))
+@pytest.mark.parametrize("method", ["ursa", "prepass", "goodman-hsu"])
+def test_clean_random_pipelines(shape, machine, method):
+    for seed in range(3):
+        trace = GENERATORS[shape](seed)
+        result = compile_trace(trace, machine, method=method)
+        assert result.verified
+        report = verify_compilation(result, remeasure=True)
+        assert not report.errors(), report.render()
+
+
+def test_verify_each_clean_on_random_traces():
+    from repro.core.allocator import URSAAllocator
+    from repro.graph.dag import DependenceDAG
+
+    machine = MachineModel.homogeneous(2, 4)
+    for seed in range(5):
+        trace = random_layered_trace(n_ops=20, width=5, seed=seed)
+        allocator = URSAAllocator(machine, verify_each=True)
+        allocator.run(DependenceDAG.from_trace(trace))  # must not raise
+
+
+# ----------------------------------------------------------------------
+# Corruption menu: each entry mutates a (hopefully) correct schedule.
+# Returns False when it could not apply (e.g. nothing to corrupt).
+# ----------------------------------------------------------------------
+def _shift_op_earlier(schedule, rng):
+    movable = [op for op in schedule.ops if op.cycle > 0]
+    if not movable:
+        return False
+    rng.choice(movable).cycle = 0
+    return True
+
+
+def _collide_fu(schedule, rng):
+    if len(schedule.ops) < 2:
+        return False
+    a, b = rng.sample(schedule.ops, 2)
+    b.fu_class, b.fu_index, b.cycle = a.fu_class, a.fu_index, a.cycle
+    return True
+
+
+def _drop_op(schedule, rng):
+    real = [op for op in schedule.ops if op.uid is not None]
+    if not real:
+        return False
+    schedule.ops.remove(rng.choice(real))
+    return True
+
+
+def _merge_registers(schedule, rng):
+    names = sorted(schedule.reg_assignment)
+    if len(names) < 2:
+        return False
+    a, b = rng.sample(names, 2)
+    schedule.reg_assignment[b] = schedule.reg_assignment[a]
+    return True
+
+
+def _drop_binding(schedule, rng):
+    if not schedule.reg_assignment:
+        return False
+    del schedule.reg_assignment[rng.choice(sorted(schedule.reg_assignment))]
+    return True
+
+
+CORRUPTIONS = {
+    "shift-earlier": _shift_op_earlier,
+    "fu-collision": _collide_fu,
+    "drop-op": _drop_op,
+    "merge-regs": _merge_registers,
+    "drop-binding": _drop_binding,
+}
+
+
+def _oracle_accepts(result):
+    """Re-run the end-to-end check on the (possibly corrupted) schedule."""
+    try:
+        program = lower_schedule(result.schedule)
+        memory = synthesize_memory(result.dag)
+        _, ok = verify_program(
+            result.dag, program, result.machine, memory,
+            result.schedule.live_out_regs,
+        )
+        return ok
+    except Exception:
+        # Lowering or simulation blew up outright — the oracle rejects.
+        return False
+
+
+@pytest.mark.parametrize("corruption", sorted(CORRUPTIONS))
+def test_verifier_flags_everything_the_oracle_rejects(corruption):
+    machine = MachineModel.homogeneous(2, 6)
+    mutate = CORRUPTIONS[corruption]
+    applied = checked = 0
+    for seed in range(6):
+        rng = random.Random(seed * 1009 + 7)
+        trace = random_layered_trace(n_ops=18, width=4, seed=seed)
+        result = compile_trace(trace, machine, method="ursa", verify=False)
+        if not mutate(result.schedule, rng):
+            continue
+        applied += 1
+        report = verify_schedule(
+            result.schedule, dag=result.dag, machine=result.machine
+        )
+        if not _oracle_accepts(result):
+            checked += 1
+            assert not report.ok, (
+                f"{corruption} seed {seed}: simulation rejects the schedule "
+                "but the static verifier saw nothing"
+            )
+    assert applied >= 3, f"{corruption}: corruption rarely applicable"
+    assert checked >= 1, (
+        f"{corruption}: oracle never rejected — corruption too weak to "
+        "exercise the cross-check"
+    )
+
+
+def test_simulation_error_implies_verifier_error():
+    # The harshest corruptions raise SimulationError; the verifier must
+    # flag those schedules statically as well.
+    machine = MachineModel.homogeneous(2, 6)
+    flagged = raised = 0
+    for seed in range(8):
+        trace = random_layered_trace(n_ops=16, width=4, seed=seed)
+        result = compile_trace(trace, machine, method="ursa", verify=False)
+        real = [op for op in result.schedule.ops if op.uid is not None]
+        if len(real) < 2:
+            continue
+        rng = random.Random(seed)
+        victim = rng.choice(real)
+        victim.fu_index = 99  # no such unit
+        try:
+            program = lower_schedule(result.schedule)
+            memory = synthesize_memory(result.dag)
+            verify_program(
+                result.dag, program, result.machine, memory,
+                result.schedule.live_out_regs,
+            )
+        except (SimulationError, Exception):
+            raised += 1
+        report = verify_schedule(result.schedule, machine=result.machine)
+        if not report.ok:
+            flagged += 1
+    assert raised >= 1
+    assert flagged == 8, "sched.fu-class must catch every bogus unit index"
