@@ -47,13 +47,17 @@ from repro.program_compiler import (
     compile_program,
     verify_compiled_program,
 )
+from repro.resilience import ChaosMonkey, Deadline, DeadlineExpired
 from repro.scheduling import ListScheduler, Schedule
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AllocationResult",
+    "ChaosMonkey",
     "CompilationResult",
+    "Deadline",
+    "DeadlineExpired",
     "DependenceDAG",
     "Instruction",
     "ListScheduler",

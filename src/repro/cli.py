@@ -119,10 +119,18 @@ def cmd_compile(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
     machine = _machine_from_args(args)
     memory = _parse_memory(args.mem)
+    deadline = None
+    if args.deadline_ms is not None:
+        from repro.resilience import Deadline
+
+        deadline = Deadline(seconds=args.deadline_ms / 1000.0)
     result = compile_trace(
         trace, machine, method=args.method,
         memory=memory or None,
         verify_each=args.verify_each,
+        resilient=args.resilient,
+        deadline=deadline,
+        transactional=args.transactional,
     )
     print(f"machine: {machine.describe()}   method: {args.method}")
     if args.show_source:
@@ -139,6 +147,14 @@ def cmd_compile(args: argparse.Namespace) -> int:
     if result.allocation is not None:
         for record in result.allocation.records:
             print(f"  [{record.kind}] {record.description}")
+    if result.degradation is not None:
+        print()
+        if getattr(args, "json", False):
+            import json as _json
+
+            print(_json.dumps({"degradation": result.degradation.to_dict()}))
+        else:
+            print(result.degradation.render())
     if args.report:
         from repro.analysis.reporting import compilation_report
 
@@ -164,6 +180,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     report = verify_source(
         trace, machine, method=args.method, lint=not args.no_lint
     )
+    if getattr(args, "json", False):
+        args.format = "json"
     if args.format == "json":
         print(report.to_json())
     else:
@@ -248,6 +266,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-each", action="store_true",
         help="re-verify DAG invariants after every committed URSA transform",
     )
+    p.add_argument(
+        "--resilient", action="store_true",
+        help="escalate down the fallback ladder instead of failing "
+             "(see docs/resilience.md); prints a degradation report",
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, metavar="MS",
+        help="compilation deadline; expiring searches degrade to "
+             "heuristic answers",
+    )
+    p.add_argument(
+        "--transactional", action="store_true",
+        help="checkpoint each URSA commit and roll back regressions",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: errors (and the degradation "
+             "report) as single-line JSON",
+    )
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser(
@@ -262,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-lint", action="store_true",
         help="suppress the warning/info lint pack; errors only",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: implies --format json; compile "
+             "errors become single-line JSON diagnostics",
     )
     p.set_defaults(func=cmd_verify)
 
@@ -289,6 +331,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _compiler_errors() -> tuple:
+    """Failure types mapped to structured exit code 2 (vs. tracebacks)."""
+    from repro.core.allocator import AllocationError
+    from repro.pipeline import PipelineError
+    from repro.scheduling.list_scheduler import ScheduleError
+    from repro.scheduling.regalloc import RegAllocError
+    from repro.verify import VerifyError
+
+    return (AllocationError, PipelineError, ScheduleError, RegAllocError,
+            VerifyError)
+
+
+def _structured_failure(args: argparse.Namespace, exc: Exception) -> int:
+    """One-line machine-readable diagnostic; JSON under ``--json``."""
+    message = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+    if getattr(args, "json", False):
+        import json as _json
+
+        print(_json.dumps({
+            "error": {
+                "type": type(exc).__name__,
+                "command": args.command,
+                "message": message,
+            }
+        }))
+    else:
+        print(
+            f"repro {args.command}: error: {type(exc).__name__}: {message}",
+            file=sys.stderr,
+        )
+    return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    try:
+        return args.func(args)
+    except _compiler_errors() as exc:
+        return _structured_failure(args, exc)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -299,7 +381,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     trace_path = getattr(args, "trace", None)
     profile = getattr(args, "profile", False)
     if not trace_path and not profile:
-        return args.func(args)
+        return _dispatch(args)
 
     from repro import obs
     from repro.analysis.reporting import trace_summary
@@ -308,7 +390,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         raise SystemExit(f"--trace: directory of {trace_path!r} does not exist")
 
     with obs.capture() as observer:
-        code = args.func(args)
+        code = _dispatch(args)
     if trace_path:
         observer.write_jsonl(trace_path)
         print(f"trace written to {trace_path}", file=sys.stderr)

@@ -40,6 +40,8 @@ from repro.graph.dag import CycleError, DependenceDAG
 from repro.graph.dilworth import maximum_antichain
 from repro.graph.hammock import HammockAnalysis
 from repro.machine.model import MachineModel
+from repro.resilience import budgets
+from repro.resilience.checkpoint import DagCheckpoint
 
 
 class Policy(enum.Enum):
@@ -77,6 +79,10 @@ class AllocationResult:
     requirements: List[ResourceRequirement]
     converged: bool
     iterations: int
+    #: True when the run was cut short or repaired (deadline expiry,
+    #: transactional rollbacks); details in ``degradation_events``.
+    degraded: bool = False
+    degradation_events: Tuple[str, ...] = ()
 
     @property
     def total_excess(self) -> int:
@@ -88,6 +94,8 @@ class AllocationResult:
 
     def describe(self) -> str:
         status = "converged" if self.converged else "NOT converged"
+        if self.degraded:
+            status += f" (degraded: {', '.join(self.degradation_events)})"
         lines = [
             f"URSA[{self.policy.value}] {status} in {self.iterations} "
             f"iterations, {len(self.records)} transformations"
@@ -105,6 +113,7 @@ class URSAAllocator:
         policy: Policy = Policy.INTEGRATED,
         max_iterations: Optional[int] = None,
         verify_each: bool = False,
+        transactional: bool = False,
     ) -> None:
         self.machine = machine
         self.policy = policy
@@ -113,7 +122,14 @@ class URSAAllocator:
         #: committed transform (LLVM's ``-verify-each``); raises
         #: :class:`repro.verify.VerifyError` at the first bad commit.
         self.verify_each = verify_each
+        #: Treat each commit as a transaction: re-measure the committed
+        #: DAG (and, with ``verify_each``, re-run the packs) and roll
+        #: back to the checkpoint when the transform regressed excess or
+        #: broke an invariant, banning that candidate for the rest of
+        #: the run instead of raising.
+        self.transactional = transactional
         self._excess_weight = 1  # set per run from the DAG size
+        self._banned: set = set()
 
     # ------------------------------------------------------------------
     def run(self, dag: DependenceDAG) -> AllocationResult:
@@ -128,24 +144,68 @@ class URSAAllocator:
 
         with obs.span("allocate.measure", iteration=0):
             requirements = measure_all(dag, self.machine)
+        if self.transactional and any(
+            r.available != self._capacity(r.kind, r.cls)
+            for r in requirements
+        ):
+            obs.count("resilience.measurement_rejected")
+            obs.event("resilience.degraded", site="allocator.measurement")
+            requirements = measure_all(dag, self.machine)
         if self.verify_each:
             self._verify_state(dag, requirements, "input dag")
         initial_excess = sum(r.excess for r in requirements)
-        budget = self.max_iterations or (4 * initial_excess + 16)
+        # max_iterations=0 is a real budget ("measure only"), not unset.
+        budget = (
+            self.max_iterations
+            if self.max_iterations is not None
+            else 4 * initial_excess + 16
+        )
+        deadline = budgets.active_deadline()
+        self._banned = set()
 
         records: List[TransformationRecord] = []
+        degradation_events: List[str] = []
         iteration = 0
         converged = sum(r.excess for r in requirements) == 0
 
         while not converged and iteration < budget:
+            if deadline is not None and deadline.expired():
+                degradation_events.append(f"deadline:{deadline.tripped}")
+                obs.count("resilience.allocator_deadline")
+                obs.event(
+                    "resilience.degraded",
+                    site="allocator.run",
+                    iteration=iteration,
+                )
+                break
             iteration += 1
             with obs.span("allocate.reduce", iteration=iteration):
                 step = self._step(dag, requirements, iteration)
             if step is None:
                 break
-            dag, requirements, record = step
+            new_dag, new_reqs, record = step
+            if self.transactional:
+                checkpoint = DagCheckpoint.capture(
+                    dag, requirements, label=f"iteration {iteration}"
+                )
+                failure, new_reqs = self._commit_failure(
+                    new_dag, new_reqs, requirements
+                )
+                if failure is not None:
+                    self._banned.add((record.kind, record.description))
+                    dag, requirements = checkpoint.restore()
+                    degradation_events.append(f"rollback:{record.kind}")
+                    obs.event(
+                        "resilience.rollback",
+                        iteration=iteration,
+                        kind=record.kind,
+                        description=record.description,
+                        reason=failure,
+                    )
+                    continue
+            dag, requirements = new_dag, new_reqs
             records.append(record)
-            if self.verify_each:
+            if self.verify_each and not self.transactional:
                 self._verify_state(
                     dag,
                     requirements,
@@ -161,6 +221,7 @@ class URSAAllocator:
             iterations=iteration,
             transformations=len(records),
             excess=sum(r.excess for r in requirements),
+            degraded=bool(degradation_events),
         )
         return AllocationResult(
             dag=dag,
@@ -170,7 +231,56 @@ class URSAAllocator:
             requirements=requirements,
             converged=converged,
             iterations=iteration,
+            degraded=bool(degradation_events),
+            degradation_events=tuple(degradation_events),
         )
+
+    # ------------------------------------------------------------------
+    def _commit_failure(
+        self,
+        new_dag: DependenceDAG,
+        new_reqs: List[ResourceRequirement],
+        old_reqs: Sequence[ResourceRequirement],
+    ) -> Tuple[Optional[str], List[ResourceRequirement]]:
+        """Transactional gate: (reason to roll back or None, requirements
+        to carry forward).
+
+        The measurements are audited, not blindly re-made: every
+        ``available`` field is re-derivable from the machine model for
+        free, and a lying measurement (exactly what the chaos harness
+        injects) has to bend ``available`` to hide or invent excess —
+        hiding a *real* excess forces ``available = required`` above
+        the true capacity.  Only when that audit fails is a full
+        honest re-measurement spent; a clean commit costs two integer
+        comparisons per requirement.  The committed numbers must then
+        show the same strict weighted-excess improvement
+        ``_best_candidate`` promised, and — with ``verify_each`` — pass
+        the invariant packs, converting what would be a fatal
+        ``VerifyError`` into a rollback.
+        """
+        if any(
+            r.available != self._capacity(r.kind, r.cls) for r in new_reqs
+        ):
+            obs.count("resilience.measurement_rejected")
+            obs.event("resilience.degraded", site="allocator.measurement")
+            new_reqs = measure_all(new_dag, self.machine)
+        if self._weighted_excess(new_reqs) >= self._weighted_excess(old_reqs):
+            return "commit shows no excess progress", new_reqs
+        if self.verify_each:
+            from repro.verify import VerifyError  # lazy: optional mode
+
+            try:
+                self._verify_state(new_dag, new_reqs, "transactional commit")
+            except VerifyError as exc:
+                reason = str(exc).splitlines()[0] if str(exc) else "VerifyError"
+                return f"verify_each: {reason}", new_reqs
+        return None, new_reqs
+
+    def _capacity(self, kind: ResourceKind, cls: str) -> int:
+        """The machine's true capacity for one resource class."""
+        if kind is ResourceKind.FUNCTIONAL_UNIT:
+            return self.machine.fu_class(cls).count
+        return self.machine.registers[cls]
 
     # ------------------------------------------------------------------
     def _verify_state(
@@ -304,7 +414,16 @@ class URSAAllocator:
             Tuple[Tuple, DependenceDAG, List[ResourceRequirement], TransformCandidate]
         ] = None
         obs.count("allocate.candidates", len(candidates))
+        deadline = budgets.active_deadline()
         for candidate in candidates:
+            if deadline is not None and deadline.tick():
+                # Keep whatever improver we already found; the run loop
+                # will notice the expiry and stop with best-so-far.
+                obs.count("resilience.candidates_truncated")
+                obs.event("resilience.degraded", site="allocator.candidates")
+                break
+            if (candidate.kind, candidate.description) in self._banned:
+                continue
             try:
                 new_dag = candidate.apply()
             except TransformError:

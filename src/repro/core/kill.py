@@ -22,9 +22,15 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 from repro import obs
 from repro.core.reuse import ValueInfo
 from repro.graph.dag import DependenceDAG
+from repro.resilience import budgets, chaos
 
 #: Instances with at most this many candidate killers are solved exactly.
 EXACT_COVER_LIMIT = 14
+
+#: Hard cap on branch-and-bound search-tree nodes.  The search is seeded
+#: with the greedy solution, so hitting the cap degrades gracefully to a
+#: greedy-or-better cover instead of hanging on a pathological trace.
+EXACT_COVER_NODE_BUDGET = 50_000
 
 
 @dataclass
@@ -91,6 +97,7 @@ def select_kill(
 
     obs.count("kill.selections")
     if not contested:
+        chaos.corrupt_kill(dag, values, kill)
         return KillAssignment(kill, frozenset(), exact=True)
     obs.count("kill.contested_values", len(contested))
 
@@ -104,9 +111,19 @@ def select_kill(
     }
 
     if len(candidate_nodes) <= exact_limit:
-        chosen = _exact_min_cover(universe, candidate_nodes, covers)
-        exact = True
-        obs.count("kill.exact_covers")
+        chosen, complete = _exact_min_cover_budgeted(
+            universe, candidate_nodes, covers
+        )
+        exact = complete
+        if complete:
+            obs.count("kill.exact_covers")
+        else:
+            obs.count("resilience.kill_cover_truncated")
+            obs.event(
+                "resilience.degraded",
+                site="kill.exact_cover",
+                candidates=len(candidate_nodes),
+            )
     else:
         chosen = _greedy_min_cover(universe, candidate_nodes, covers)
         exact = False
@@ -121,6 +138,7 @@ def select_kill(
         picks.sort(key=lambda uid: (depth.get(uid, 0), uid))
         kill[name] = picks[-1]
 
+    chaos.corrupt_kill(dag, values, kill)
     return KillAssignment(kill, frozenset(universe), exact)
 
 
@@ -146,8 +164,28 @@ def _exact_min_cover(
     universe: List[str],
     nodes: List[int],
     covers: Mapping[int, FrozenSet[str]],
+    node_budget: int = EXACT_COVER_NODE_BUDGET,
 ) -> List[int]:
-    """Exact minimum cover by branch-and-bound on the candidate nodes."""
+    """Exact minimum cover by branch-and-bound on the candidate nodes.
+
+    The search is budgeted (``node_budget`` tree nodes plus the active
+    deadline); on exhaustion it returns the best cover found so far,
+    which is never worse than the greedy seed.
+    """
+    solution, _ = _exact_min_cover_budgeted(
+        universe, nodes, covers, node_budget=node_budget
+    )
+    return solution
+
+
+def _exact_min_cover_budgeted(
+    universe: List[str],
+    nodes: List[int],
+    covers: Mapping[int, FrozenSet[str]],
+    node_budget: int = EXACT_COVER_NODE_BUDGET,
+) -> Tuple[List[int], bool]:
+    """Branch-and-bound cover plus a flag: True when the search finished
+    (the result is provably minimum), False when a budget cut it short."""
     best_solution = _greedy_min_cover(universe, nodes, covers)
     best_size = len(best_solution)
     universe_set = frozenset(universe)
@@ -156,8 +194,22 @@ def _exact_min_cover(
     ordered = sorted(nodes, key=lambda n: -len(covers[n]))
     max_cover = max((len(covers[n]) for n in ordered), default=1)
 
+    deadline = budgets.active_deadline()
+    explored = 0
+    truncated = False
+
     def search(index: int, chosen: List[int], covered: FrozenSet[str]) -> None:
-        nonlocal best_solution, best_size
+        nonlocal best_solution, best_size, explored, truncated
+        if truncated:
+            return
+        explored += 1
+        if explored > node_budget or (
+            deadline is not None
+            and explored % 256 == 0
+            and deadline.expired()
+        ):
+            truncated = True
+            return
         if covered == universe_set:
             if len(chosen) < best_size:
                 best_size = len(chosen)
@@ -178,4 +230,4 @@ def _exact_min_cover(
         search(index + 1, chosen, covered)
 
     search(0, [], frozenset())
-    return best_solution
+    return best_solution, not truncated

@@ -35,6 +35,7 @@ from repro.graph.dilworth import (
 )
 from repro.graph.hammock import Hammock, HammockAnalysis
 from repro.machine.model import MachineModel
+from repro.resilience import chaos
 
 Element = Hashable
 
@@ -204,6 +205,7 @@ def measure_all(
             measure_registers(dag, machine, cls, analysis)
             for cls in sorted(machine.registers)
         )
+        chaos.corrupt_measurements(results)
     return results
 
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.graph.dag import CycleError, DependenceDAG
+from repro.resilience import chaos
 
 
 class TransformError(Exception):
@@ -37,6 +38,7 @@ class TransformCandidate:
             self.edits(clone)
         except CycleError as exc:
             raise TransformError(f"{self.kind}: {exc}") from exc
+        chaos.corrupt_transform(clone)
         return clone
 
     def __str__(self) -> str:

@@ -18,9 +18,22 @@ from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
+from repro.resilience import budgets
 
 Node = Hashable
 Edge = Tuple[Node, Node]
+
+
+def _matching_degraded(site: str) -> None:
+    """Record that a matcher stopped early on the active deadline.
+
+    A non-maximum matching yields *more* chains in the decomposition,
+    so downstream the requirement is overestimated — the conservative
+    direction; and the antichains König's construction extracts may be
+    impure, but every transform candidate re-validates its edges.
+    """
+    obs.count("resilience.matching_degraded")
+    obs.event("resilience.degraded", site=site)
 
 
 class PrioritizedMatcher:
@@ -51,9 +64,18 @@ class PrioritizedMatcher:
         return self.maximize()
 
     def maximize(self) -> int:
-        """Augment until maximum over all edges added so far."""
+        """Augment until maximum over all edges added so far.
+
+        Under an expired deadline the loop stops early and the current
+        (possibly non-maximum) matching stands — see
+        :func:`_matching_degraded` for why that is safe.
+        """
         gained = 0
+        deadline = budgets.active_deadline()
         for left in list(self.adjacency):
+            if deadline is not None and deadline.tick():
+                _matching_degraded("matching.maximize")
+                break
             if left not in self.match_left:
                 if self._augment(left, set()):
                     gained += 1
@@ -175,8 +197,12 @@ def hopcroft_karp(
 
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, 4 * (len(adjacency) + 16)))
+    deadline = budgets.active_deadline()
     try:
         while bfs():
+            if deadline is not None and deadline.tick():
+                _matching_degraded("matching.hopcroft_karp")
+                break
             for u in adjacency:
                 if match_left[u] is None:
                     dfs(u)

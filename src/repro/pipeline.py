@@ -42,6 +42,7 @@ METHODS = (
     "postpass",
     "goodman-hsu",
     "naive",
+    "spill-everywhere",
 )
 
 _URSA_POLICIES = {
@@ -69,10 +70,19 @@ class CompilationResult:
     simulation: Optional[SimulationResult]
     verified: Optional[bool]
     stats: ScheduleStats
+    #: Set by resilient compilation (``compile_trace(resilient=True)``):
+    #: a :class:`repro.resilience.fallback.DegradationReport`.
+    degradation: Optional[object] = None
 
     @property
     def cycles(self) -> int:
         return self.stats.cycles
+
+    @property
+    def degraded(self) -> bool:
+        if self.degradation is not None and self.degradation.degraded:
+            return True
+        return self.allocation is not None and self.allocation.degraded
 
 
 def build_dag(
@@ -107,6 +117,9 @@ def compile_trace(
     assignment: str = "bind",
     static_checks: bool = True,
     verify_each: bool = False,
+    resilient: bool = False,
+    deadline: Optional[object] = None,
+    transactional: bool = False,
 ) -> CompilationResult:
     """Compile one trace with the chosen method.
 
@@ -122,9 +135,68 @@ def compile_trace(
     reported as the rule that caught it, not as a memory divergence.
     ``verify_each`` additionally re-verifies the DAG after every
     transform the URSA allocator commits (slow; for debugging passes).
+
+    Resilience (see ``docs/resilience.md``): ``resilient=True`` routes
+    through the escalation ladder — on any failure the compile degrades
+    to a simpler method, ending at the always-feasible spill-everywhere
+    baseline, and the result carries a structured ``degradation``
+    report.  ``deadline`` (a :class:`repro.resilience.Deadline`) bounds
+    the NP-hard searches, which then return best-so-far answers tagged
+    as degraded.  ``transactional`` makes the URSA allocator checkpoint
+    each commit and roll back transforms that regress excess or break
+    the ``verify_each`` invariants.
     """
     if method not in METHODS:
         raise PipelineError(f"unknown method {method!r}; pick one of {METHODS}")
+
+    if resilient:
+        from repro.resilience.fallback import compile_with_fallback
+
+        return compile_with_fallback(
+            source,
+            machine,
+            method=method,
+            deadline=deadline,
+            live_out=live_out,
+            verify=verify,
+            memory=memory,
+            seed=seed,
+            optimize=optimize,
+            assignment=assignment,
+            static_checks=static_checks,
+            verify_each=verify_each,
+            transactional=transactional,
+        )
+    if deadline is not None:
+        from repro.resilience.budgets import deadline_scope
+
+        with deadline_scope(deadline):
+            return _compile_once(
+                source, machine, method, live_out, verify, memory, seed,
+                optimize, assignment, static_checks, verify_each,
+                transactional,
+            )
+    return _compile_once(
+        source, machine, method, live_out, verify, memory, seed, optimize,
+        assignment, static_checks, verify_each, transactional,
+    )
+
+
+def _compile_once(
+    source: Union[str, Sequence[Instruction], Trace, DependenceDAG],
+    machine: MachineModel,
+    method: str,
+    live_out: Sequence[str],
+    verify: bool,
+    memory: Optional[MemoryState],
+    seed: int,
+    optimize: bool,
+    assignment: str,
+    static_checks: bool,
+    verify_each: bool,
+    transactional: bool,
+) -> CompilationResult:
+    """One rung of compilation; no ladder, deadline comes from scope."""
 
     if optimize:
         if isinstance(source, DependenceDAG):
@@ -150,7 +222,10 @@ def compile_trace(
 
         with obs.span("phase.allocate", method=method):
             allocation = URSAAllocator(
-                machine, _URSA_POLICIES[method], verify_each=verify_each
+                machine,
+                _URSA_POLICIES[method],
+                verify_each=verify_each,
+                transactional=transactional,
             ).run(dag)
         with obs.span("phase.assign", method=method):
             schedule = assign(
@@ -168,6 +243,12 @@ def compile_trace(
     elif method == "goodman-hsu":
         with obs.span("phase.schedule", method=method):
             schedule = compile_goodman_hsu(dag, machine)
+        final_dag = dag
+    elif method == "spill-everywhere":
+        from repro.resilience.fallback import spill_everywhere_schedule
+
+        with obs.span("phase.schedule", method=method):
+            schedule = spill_everywhere_schedule(dag, machine)
         final_dag = dag
     else:  # naive: allocate on source order, pack without reordering
         with obs.span("phase.schedule", method=method):

@@ -1,0 +1,52 @@
+"""Fault-tolerant compilation: deadlines, fallback ladder, rollback, chaos.
+
+Public surface:
+
+* :mod:`repro.resilience.budgets` — :class:`Deadline` / work budgets
+  threaded through the NP-hard paths (kill cover, exact scheduling,
+  matching, the allocator loop);
+* :mod:`repro.resilience.fallback` — the escalation ladder
+  (:func:`compile_with_fallback`) ending in the always-feasible
+  spill-everywhere baseline, plus :class:`DegradationReport`;
+* :mod:`repro.resilience.checkpoint` — transactional transform commits;
+* :mod:`repro.resilience.chaos` — seeded fault injection proving every
+  recovery path is exercised.
+
+``fallback`` is imported lazily (it needs ``repro.pipeline``, which the
+core allocator — an importer of this package — sits underneath).
+"""
+
+from repro.resilience.budgets import (
+    Deadline,
+    DeadlineExpired,
+    active_deadline,
+    deadline_scope,
+)
+from repro.resilience.chaos import FAULT_CLASSES, ChaosMonkey, chaos_scope
+from repro.resilience.checkpoint import DagCheckpoint, RollbackError, guarded_apply
+
+__all__ = [
+    "ChaosMonkey",
+    "DagCheckpoint",
+    "Deadline",
+    "DeadlineExpired",
+    "DegradationReport",
+    "FAULT_CLASSES",
+    "RollbackError",
+    "active_deadline",
+    "chaos_scope",
+    "compile_with_fallback",
+    "deadline_scope",
+    "guarded_apply",
+    "spill_everywhere_schedule",
+]
+
+_LAZY = {"DegradationReport", "compile_with_fallback", "spill_everywhere_schedule"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.resilience import fallback
+
+        return getattr(fallback, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.graph.dag import DependenceDAG
 from repro.machine.model import MachineModel
+from repro.resilience.budgets import DeadlineExpired, active_deadline
 
 
 class OptimalSearchError(Exception):
@@ -148,8 +149,19 @@ def optimal_schedule_length(
 
     from functools import lru_cache
 
+    deadline = active_deadline()
+    states = 0
+
     @lru_cache(maxsize=None)
     def best(mask: int) -> int:
+        nonlocal states
+        states += 1
+        if (
+            deadline is not None
+            and states % 256 == 1
+            and deadline.expired()
+        ):
+            raise DeadlineExpired("optimal_schedule_length", deadline)
         if mask == full:
             return 0
         ready = _ready_list(problem, mask)
@@ -169,9 +181,61 @@ def optimal_schedule_length(
                     break  # cannot do better from this state
         return result
 
-    value = best(0)
-    best.cache_clear()
+    try:
+        value = best(0)
+    finally:
+        best.cache_clear()
     return None if value >= INF else value
+
+
+@dataclass(frozen=True)
+class AnytimeScheduleResult:
+    """Outcome of :func:`anytime_schedule_length`."""
+
+    length: Optional[int]
+    degraded: bool
+    #: ``exact`` or ``list-schedule`` (the heuristic fallback).
+    source: str
+
+
+def anytime_schedule_length(
+    dag: DependenceDAG,
+    machine: MachineModel,
+    respect_registers: bool = True,
+    max_ops: int = MAX_OPS,
+) -> AnytimeScheduleResult:
+    """Exact length when the budget allows; a list-schedule bound otherwise.
+
+    The exact DP consults the active deadline; when it expires (or the
+    instance exceeds ``max_ops``) this falls back to a greedy list
+    schedule's length — an upper bound, tagged ``degraded=True`` — so
+    callers on a budget always get *an* answer.
+    """
+    try:
+        length = optimal_schedule_length(
+            dag, machine, respect_registers=respect_registers, max_ops=max_ops
+        )
+        return AnytimeScheduleResult(length, degraded=False, source="exact")
+    except (DeadlineExpired, OptimalSearchError):
+        pass
+
+    from repro import obs
+    from repro.scheduling.list_scheduler import ListScheduler, ScheduleError
+
+    obs.count("resilience.optimal_degraded")
+    obs.event("resilience.degraded", site="optimal_schedule_length")
+    try:
+        schedule = ListScheduler(
+            dag,
+            machine,
+            respect_registers=respect_registers,
+            allow_spill=respect_registers,
+        ).run()
+    except ScheduleError:
+        return AnytimeScheduleResult(None, degraded=True, source="list-schedule")
+    return AnytimeScheduleResult(
+        schedule.length, degraded=True, source="list-schedule"
+    )
 
 
 def _cycles_lower_bound(problem: _Problem, mask: int) -> int:
