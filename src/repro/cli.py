@@ -7,7 +7,9 @@ Subcommands:
 * ``verify``   — static invariant/lint report for a trace's compilation;
 * ``compare``  — compare all methods on one trace;
 * ``program``  — compile a whole multi-block program and execute it;
-* ``pipeline`` — unroll-and-allocate sweep for a canonical loop.
+* ``pipeline`` — unroll-and-allocate sweep for a canonical loop;
+* ``passes``   — list registered passes, analyses, and invalidation
+  contracts (``--kernel`` adds live analysis-cache statistics).
 
 Traces/programs come from a file path or from ``--kernel <name>``.
 Initial memory cells are passed as ``--mem base[+offset]=value``.
@@ -238,6 +240,82 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_passes(args: argparse.Namespace) -> int:
+    import repro.core.allocator  # noqa: F401 — registers invalidation contracts
+    from repro.core.transforms.base import INVALIDATION_CONTRACTS
+    from repro.pm import ANALYSES, PASS_REGISTRY
+    from repro.pm.analysis import AnalysisManager
+
+    cache_stats: Optional[Dict[str, float]] = None
+    if args.kernel is not None:
+        machine = _machine_from_args(args)
+        manager = AnalysisManager()
+        compile_trace(
+            kernel(args.kernel), machine, method="ursa", verify=False,
+            analysis_manager=manager,
+        )
+        cache_stats = manager.stats()
+
+    if args.json:
+        import json as _json
+
+        payload: Dict[str, object] = {
+            "passes": [
+                {
+                    "name": spec.name,
+                    "description": spec.description,
+                    "requires": list(spec.requires),
+                    "provides": list(spec.provides),
+                    "emit_span": spec.emit_span,
+                }
+                for spec in PASS_REGISTRY
+            ],
+            "analyses": [
+                {
+                    "name": spec.name,
+                    "description": spec.description,
+                    "invalidated_by": list(spec.invalidated_by),
+                }
+                for spec in ANALYSES
+            ],
+            "invalidation_contracts": {
+                kind: {
+                    "edges_only": inv.edges_only,
+                    "adds_nodes": inv.adds_nodes,
+                    "invalidates_all": inv.invalidates_all,
+                    "analyses": list(inv.analyses),
+                }
+                for kind, inv in sorted(INVALIDATION_CONTRACTS.items())
+            },
+        }
+        if cache_stats is not None:
+            payload["cache"] = {"kernel": args.kernel, **cache_stats}
+        print(_json.dumps(payload, indent=2))
+        return 0
+
+    print("passes (pipeline registration order):")
+    for spec in PASS_REGISTRY:
+        wires = ""
+        if spec.requires or spec.provides:
+            wires = (
+                f"  [{','.join(spec.requires) or '-'}"
+                f" -> {','.join(spec.provides) or '-'}]"
+            )
+        print(f"  {spec.name:<14} {spec.description}{wires}")
+    print("\nanalyses (cached by DAG version):")
+    for analysis in ANALYSES:
+        print(f"  {analysis.name:<14} {analysis.description}")
+        print(f"  {'':<14} invalidated by: {', '.join(analysis.invalidated_by)}")
+    print("\ntransform invalidation contracts:")
+    for kind, inv in sorted(INVALIDATION_CONTRACTS.items()):
+        print(f"  {kind:<22} {inv.describe()}")
+    if cache_stats is not None:
+        print(f"\nanalysis cache after compiling --kernel {args.kernel}:")
+        for key, value in cache_stats.items():
+            print(f"  {key:<14} {value}")
+    return 0
+
+
 # ======================================================================
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -317,6 +395,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=METHODS, default="ursa")
     p.add_argument("--mem", action="append", help="base[+off]=value")
     p.set_defaults(func=cmd_program)
+
+    p = sub.add_parser(
+        "passes",
+        help="list passes, analyses, and transform invalidation contracts",
+    )
+    p.add_argument(
+        "--kernel", choices=sorted(KERNELS),
+        help="also compile this kernel and report analysis-cache stats",
+    )
+    p.add_argument("--fus", type=int, default=4, help="functional units")
+    p.add_argument("--regs", type=int, default=8, help="registers")
+    p.add_argument("--classed", action="store_true")
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p.set_defaults(func=cmd_passes)
 
     p = sub.add_parser("pipeline", help="software-pipelining unroll sweep")
     p.add_argument("loop", choices=sorted(LOOPS))

@@ -31,17 +31,42 @@ from repro.core.measure import (
     find_excessive_sets,
     measure_all,
 )
-from repro.core.transforms.base import TransformCandidate, TransformError
+from repro.core.transforms.base import (
+    EDGES_ONLY,
+    INVALIDATES_ALL,
+    TransformCandidate,
+    TransformError,
+    register_contract,
+)
 from repro.core.transforms.fu_seq import propose_fu_sequencing
 from repro.core.transforms.reg_seq import propose_register_sequencing
 from repro.core.transforms.remat import propose_rematerializations
 from repro.core.transforms.spill import propose_spills, spill_slot_for
-from repro.graph.dag import CycleError, DependenceDAG
+from repro.graph.dag import (
+    CycleError,
+    DagTransaction,
+    DependenceDAG,
+    TransactionError,
+)
 from repro.graph.dilworth import maximum_antichain
 from repro.graph.hammock import HammockAnalysis
 from repro.machine.model import MachineModel
-from repro.resilience import budgets
+from repro.pm.analysis import AnalysisManager
+from repro.pm.incremental import IncrementalMeasurer, InvalidationError
+from repro.resilience import budgets, chaos
 from repro.resilience.checkpoint import DagCheckpoint
+
+# Invalidation contracts for the candidates the driver itself builds:
+# every one of them only adds sequence edges, except the antichain
+# spill fallback, which inserts SPILL/RELOAD nodes.
+register_contract("fu-seq-schedule", EDGES_ONLY)
+register_contract("fu-chain-merge", EDGES_ONLY)
+register_contract("reg-chain-merge", EDGES_ONLY)
+register_contract("fu-chain-weave", EDGES_ONLY)
+register_contract("reg-chain-weave", EDGES_ONLY)
+register_contract("fu-seq-fallback", EDGES_ONLY)
+register_contract("reg-seq-fallback", EDGES_ONLY)
+register_contract("spill-fallback", INVALIDATES_ALL)
 
 
 class Policy(enum.Enum):
@@ -114,6 +139,8 @@ class URSAAllocator:
         max_iterations: Optional[int] = None,
         verify_each: bool = False,
         transactional: bool = False,
+        incremental: bool = True,
+        analysis_manager: Optional[AnalysisManager] = None,
     ) -> None:
         self.machine = machine
         self.policy = policy
@@ -128,8 +155,21 @@ class URSAAllocator:
         #: broke an invariant, banning that candidate for the rest of
         #: the run instead of raising.
         self.transactional = transactional
+        #: Score edges-only candidates in place via the pm transaction
+        #: machinery instead of DAG copy + ``measure_all`` (see
+        #: ``repro.pm.incremental``); falls back to the clone path per
+        #: candidate for node-inserting transforms, and wholesale in
+        #: transactional mode or when chaos injection or a deadline is
+        #: active — those resilience modes reason about (and in the
+        #: transactional case, *depend on*) the clone path's guarantee
+        #: that the pre-commit object is never mutated.
+        self.incremental = incremental
+        self.analysis_manager = analysis_manager
         self._excess_weight = 1  # set per run from the DAG size
         self._banned: set = set()
+        self._use_incremental = False
+        self._am: AnalysisManager = analysis_manager or AnalysisManager()
+        self._measurer: Optional[IncrementalMeasurer] = None
 
     # ------------------------------------------------------------------
     def run(self, dag: DependenceDAG) -> AllocationResult:
@@ -141,9 +181,19 @@ class URSAAllocator:
         # doubles it plus the merge budget, so this weight keeps register
         # excess lexicographically dominant for the whole run.
         self._excess_weight = 1 + 8 * (len(dag) + 16)
+        self._use_incremental = (
+            self.incremental
+            and not self.transactional
+            and chaos.active() is None
+            and budgets.active_deadline() is None
+        )
+        self._am = self.analysis_manager or AnalysisManager()
+        self._measurer = IncrementalMeasurer(
+            self.machine, register_weight=self._excess_weight
+        )
 
         with obs.span("allocate.measure", iteration=0):
-            requirements = measure_all(dag, self.machine)
+            requirements = self._measure(dag)
         if self.transactional and any(
             r.available != self._capacity(r.kind, r.cls)
             for r in requirements
@@ -183,10 +233,15 @@ class URSAAllocator:
                 step = self._step(dag, requirements, iteration)
             if step is None:
                 break
-            new_dag, new_reqs, record = step
+            new_dag, new_reqs, record, txn = step
             if self.transactional:
+                # With an open commit transaction the checkpoint rolls
+                # the journal back instead of relying on ``dag`` being a
+                # different object — restore() also restores the DAG's
+                # version, revalidating every analysis cached before
+                # the commit.
                 checkpoint = DagCheckpoint.capture(
-                    dag, requirements, label=f"iteration {iteration}"
+                    dag, requirements, label=f"iteration {iteration}", txn=txn
                 )
                 failure, new_reqs = self._commit_failure(
                     new_dag, new_reqs, requirements
@@ -203,6 +258,10 @@ class URSAAllocator:
                         reason=failure,
                     )
                     continue
+                if txn is not None:
+                    txn.commit()
+            elif txn is not None:
+                txn.commit()
             dag, requirements = new_dag, new_reqs
             records.append(record)
             if self.verify_each and not self.transactional:
@@ -283,6 +342,23 @@ class URSAAllocator:
         return self.machine.registers[cls]
 
     # ------------------------------------------------------------------
+    def _measure(self, dag: DependenceDAG) -> List[ResourceRequirement]:
+        """Full measurement, through the analysis cache when incremental."""
+        if self._use_incremental:
+            return self._am.measure_all(dag, self.machine)
+        return measure_all(dag, self.machine)
+
+    def _asap(self, dag: DependenceDAG) -> Dict[int, int]:
+        if self._use_incremental:
+            return self._am.asap(dag)
+        return dag.asap()
+
+    def _hammock(self, dag: DependenceDAG) -> HammockAnalysis:
+        if self._use_incremental:
+            return self._am.hammock(dag)
+        return HammockAnalysis(dag)
+
+    # ------------------------------------------------------------------
     def _verify_state(
         self,
         dag: DependenceDAG,
@@ -314,9 +390,23 @@ class URSAAllocator:
         dag: DependenceDAG,
         requirements: List[ResourceRequirement],
         iteration: int,
-    ) -> Optional[Tuple[DependenceDAG, List[ResourceRequirement], TransformationRecord]]:
-        """Evaluate candidates and commit the best; None when stuck."""
-        analysis = HammockAnalysis(dag)
+    ) -> Optional[
+        Tuple[
+            DependenceDAG,
+            List[ResourceRequirement],
+            TransformationRecord,
+            Optional[DagTransaction],
+        ]
+    ]:
+        """Evaluate candidates and commit the best; None when stuck.
+
+        The returned transaction is open (and the returned DAG is the
+        *input* DAG, mutated in place) when the winner was applied
+        through the incremental path; the caller commits or rolls it
+        back.  A ``None`` transaction means the legacy clone path ran
+        and the returned DAG is a fresh copy.
+        """
+        analysis = self._hammock(dag)
         excessive = [r for r in requirements if r.is_excessive]
         active = self._active_requirements(excessive)
         if not active:
@@ -343,9 +433,13 @@ class URSAAllocator:
                 )
 
         current_weighted = self._weighted_excess(requirements)
-        current_cp = dag.critical_path_length(self.machine.latency_of)
+        if self._use_incremental:
+            current_cp = self._am.critical_path(dag, self.machine)
+            self._measurer.rebase(dag, requirements)
+        else:
+            current_cp = dag.critical_path_length(self.machine.latency_of)
 
-        best = self._best_candidate(candidates, current_weighted)
+        best = self._best_candidate(dag, candidates, current_weighted)
         if best is None:
             # The chain-set proposals made no global progress; fall back
             # to whole-decomposition chain merging (guaranteed to bound
@@ -356,11 +450,28 @@ class URSAAllocator:
             for requirement in active:
                 fallbacks.extend(self._global_merge_candidates(dag, requirement))
                 fallbacks.extend(self._fallback_candidates(dag, requirement))
-            best = self._best_candidate(fallbacks, current_weighted)
+            best = self._best_candidate(dag, fallbacks, current_weighted)
         if best is None:
             obs.event("allocate.stuck", iteration=iteration)
             return None
         score, new_dag, new_reqs, candidate = best
+        txn: Optional[DagTransaction] = None
+        if new_dag is None:
+            # Incremental winner: re-apply the edits in place inside a
+            # fresh transaction (the trial rolled its own back) and take
+            # one full measurement at the new version — decompositions
+            # and Kill() carried into the next iteration always come
+            # from a from-scratch measure, exactly as on the clone path.
+            txn = dag.begin_transaction()
+            try:
+                candidate.edits(dag)
+            except (CycleError, TransactionError) as exc:  # pragma: no cover
+                txn.rollback()
+                raise AssertionError(
+                    f"winning candidate failed to re-apply: {exc}"
+                ) from exc
+            new_dag = dag
+            new_reqs = self._measure(dag)
         obs.event(
             "allocate.commit",
             iteration=iteration,
@@ -381,7 +492,7 @@ class URSAAllocator:
             critical_path_before=current_cp,
             critical_path_after=score[1],
         )
-        return new_dag, new_reqs, record
+        return new_dag, new_reqs, record, txn
 
     def _weighted_excess(self, requirements: Sequence[ResourceRequirement]) -> int:
         """Register excess dominates FU excess lexicographically.
@@ -406,12 +517,33 @@ class URSAAllocator:
 
     def _best_candidate(
         self,
+        dag: DependenceDAG,
         candidates: List[TransformCandidate],
         current_excess: int,
-    ) -> Optional[Tuple[Tuple, DependenceDAG, List[ResourceRequirement], TransformCandidate]]:
-        """Tentatively apply every candidate; keep the best improver."""
+    ) -> Optional[
+        Tuple[
+            Tuple,
+            Optional[DependenceDAG],
+            Optional[List[ResourceRequirement]],
+            TransformCandidate,
+        ]
+    ]:
+        """Tentatively apply every candidate; keep the best improver.
+
+        Edges-only candidates are scored *in place* by the incremental
+        measurer (checkpoint/rollback, no DAG copy, no ``measure_all``);
+        the winner's DAG/requirements slots come back ``None`` and are
+        materialized by the caller.  Node-inserting candidates — and
+        every candidate when the incremental path is disabled — go
+        through the legacy clone-and-remeasure path.
+        """
         best: Optional[
-            Tuple[Tuple, DependenceDAG, List[ResourceRequirement], TransformCandidate]
+            Tuple[
+                Tuple,
+                Optional[DependenceDAG],
+                Optional[List[ResourceRequirement]],
+                TransformCandidate,
+            ]
         ] = None
         obs.count("allocate.candidates", len(candidates))
         deadline = budgets.active_deadline()
@@ -424,6 +556,44 @@ class URSAAllocator:
                 break
             if (candidate.kind, candidate.description) in self._banned:
                 continue
+            if (
+                self._use_incremental
+                and candidate.invalidation.edges_only
+                and not candidate.invalidation.invalidates_all
+            ):
+                try:
+                    outcome = self._measurer.trial(candidate)
+                except TransformError:
+                    obs.count("allocate.candidates_illegal")
+                    continue
+                except InvalidationError as exc:
+                    if self.verify_each:
+                        from repro.verify import VerifyError  # lazy
+                        from repro.verify.alloc_rules import (
+                            invalidation_contract_report,
+                        )
+
+                        raise VerifyError(
+                            invalidation_contract_report(
+                                candidate.kind, str(exc)
+                            ),
+                            context="invalidation contract violation",
+                        ) from exc
+                    # The transform lied about being edges-only; the
+                    # trial rolled back cleanly — score it honestly on
+                    # the clone path instead.
+                else:
+                    if outcome is None:
+                        continue  # must make progress
+                    score = (
+                        outcome.weighted_excess,
+                        outcome.critical_path,
+                        candidate.spills_added,
+                        candidate.preference,
+                    )
+                    if best is None or score < best[0]:
+                        best = (score, None, None, candidate)
+                    continue
             try:
                 new_dag = candidate.apply()
             except TransformError:
@@ -519,6 +689,7 @@ class URSAAllocator:
                 base_dag=dag,
                 edits=edits,
                 preference=1,
+                invalidation=EDGES_ONLY,
             )
         ]
 
@@ -537,7 +708,7 @@ class URSAAllocator:
         if excess <= 0 or len(chains) < 2:
             return []
 
-        depth = dag.asap()
+        depth = self._asap(dag)
         kill = requirement.kill
 
         def tail_node(chain) -> Optional[int]:
@@ -608,6 +779,7 @@ class URSAAllocator:
                     base_dag=dag,
                     edits=make_edits(edges),
                     preference=1,
+                    invalidation=EDGES_ONLY,
                 )
             )
 
@@ -623,6 +795,7 @@ class URSAAllocator:
                     base_dag=dag,
                     edits=make_edits(weave),
                     preference=2,
+                    invalidation=EDGES_ONLY,
                 )
             )
         return results
@@ -642,7 +815,7 @@ class URSAAllocator:
         available = requirement.available
         if len(chains) <= available:
             return []
-        depth = dag.asap()
+        depth = self._asap(dag)
         kill = requirement.kill
 
         def element_depth(e) -> int:
@@ -706,9 +879,10 @@ class URSAAllocator:
     def _fallback_candidates(
         self, dag: DependenceDAG, requirement: ResourceRequirement
     ) -> List[TransformCandidate]:
+        depth = self._asap(dag)
         antichain = sorted(
             maximum_antichain(requirement.order),
-            key=lambda e: dag.asap()[requirement.element_node[e]],
+            key=lambda e: depth[requirement.element_node[e]],
         )
         if len(antichain) <= requirement.available:
             return []
@@ -741,6 +915,7 @@ class URSAAllocator:
                         base_dag=dag,
                         edits=make_edits(src, dst),
                         preference=2,
+                        invalidation=EDGES_ONLY,
                     )
                 )
             return candidates
@@ -767,6 +942,7 @@ class URSAAllocator:
                     base_dag=dag,
                     edits=make_edits(killer, target_def),
                     preference=2,
+                    invalidation=EDGES_ONLY,
                 )
             )
 

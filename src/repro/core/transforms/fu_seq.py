@@ -14,9 +14,16 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.core.measure import ExcessiveChainSet
-from repro.core.transforms.base import TransformCandidate
+from repro.core.transforms.base import (
+    EDGES_ONLY,
+    TransformCandidate,
+    register_contract,
+)
+
 from repro.graph.dag import DependenceDAG
 from repro.scheduling.priorities import latency_weighted_height
+
+register_contract("fu-seq", EDGES_ONLY)
 
 
 def _merge_edges(
@@ -121,6 +128,7 @@ def propose_fu_sequencing(
                 base_dag=dag,
                 edits=make_edits(edges),
                 preference=0,
+                invalidation=EDGES_ONLY,
             )
         )
     obs.count("transform.fu_seq.proposed", len(candidates))

@@ -40,6 +40,99 @@ class CycleError(Exception):
     """Adding an edge would create a cycle (an illegal sequentialization)."""
 
 
+class TransactionError(Exception):
+    """A mutation violated the active transaction's edge-only contract."""
+
+
+class DagTransaction:
+    """An undo journal for *sequence-edge-only* mutations of one DAG.
+
+    While a transaction is active, ``add_sequence_edge`` appends to the
+    journal instead of throwing the transitive-closure cache away: the
+    closure masks are updated in place and the old mask of every touched
+    node is recorded, so ``rollback`` restores the exact pre-transaction
+    structure, closure, *and* ``version`` — any analysis cached against
+    the old version becomes valid again.  Mutations the journal cannot
+    undo (node insertion, instruction rewrites, edge removal) raise
+    :class:`TransactionError` *before* touching the DAG; this is how a
+    transform that lies about an edges-only invalidation contract is
+    caught (see ``repro.pm``).
+
+    Because rolled-back edges were appended last to the adjacency dicts,
+    removing them restores dict insertion order exactly: a trial that is
+    applied and rolled back leaves the DAG bit-identical to one that was
+    never tried.
+    """
+
+    def __init__(self, dag: "DependenceDAG") -> None:
+        self.dag = dag
+        self._base_version = dag.version
+        #: (src, dst) of every edge added, in application order.
+        self._edges: List[Tuple[int, int]] = []
+        #: first-touch (uid, old_mask) closure deltas, in touch order.
+        self._masks: List[Tuple[int, int]] = []
+        self._touched: Set[int] = set()
+        self.active = True
+
+    # -- journal recording (called by DependenceDAG) -------------------
+    def record_edge(self, src: int, dst: int) -> None:
+        self._edges.append((src, dst))
+
+    def record_mask(self, uid: int, old_mask: int) -> None:
+        if uid not in self._touched:
+            self._touched.add(uid)
+            self._masks.append((uid, old_mask))
+
+    # -- queries -------------------------------------------------------
+    @property
+    def base_version(self) -> int:
+        return self._base_version
+
+    def added_edges(self) -> List[Tuple[int, int]]:
+        return list(self._edges)
+
+    def changed_nodes(self) -> Set[int]:
+        """Nodes whose descendant set grew during this transaction."""
+        return set(self._touched)
+
+    def old_mask(self, uid: int) -> Optional[int]:
+        for touched, old in self._masks:
+            if touched == uid:
+                return old
+        return None
+
+    def new_descendants(self, uid: int) -> Set[int]:
+        """Nodes reachable from ``uid`` now but not at transaction start."""
+        dag = self.dag
+        desc = dag._closure()
+        old = self.old_mask(uid)
+        if old is None:
+            return set()
+        return dag._expand_mask(desc[uid] & ~old)
+
+    # -- lifecycle -----------------------------------------------------
+    def rollback(self) -> None:
+        """Undo every journaled edge; restore closure and version."""
+        if not self.active:
+            raise TransactionError("transaction already closed")
+        dag = self.dag
+        for src, dst in reversed(self._edges):
+            dag.graph.remove_edge(src, dst)
+        if dag._desc_cache is not None:
+            for uid, old in reversed(self._masks):
+                dag._desc_cache[uid] = old
+        dag.version = self._base_version
+        dag._txn = None
+        self.active = False
+
+    def commit(self) -> None:
+        """Keep the journaled edges; the bumped version stands."""
+        if not self.active:
+            raise TransactionError("transaction already closed")
+        self.dag._txn = None
+        self.active = False
+
+
 class EdgeKind(enum.Enum):
     DATA = "data"
     SEQ = "seq"
@@ -51,6 +144,18 @@ class DependenceDAG:
     Use :meth:`from_trace` to build one from straight-line code.  All
     reachability queries are cached and invalidated on mutation.
     """
+
+    #: Global monotone version source.  Every structural change to any
+    #: DAG draws a fresh number, so a (dag, version) pair identifies one
+    #: exact structure forever — rollback can restore an old version
+    #: without ever colliding with a different structure, and analysis
+    #: caches (``repro.pm``) can be shared across DAGs.
+    _version_counter: int = 0
+
+    @classmethod
+    def _next_version(cls) -> int:
+        cls._version_counter += 1
+        return cls._version_counter
 
     def __init__(self) -> None:
         self.graph = nx.DiGraph()
@@ -68,6 +173,9 @@ class DependenceDAG:
         #: uids in original trace order (set by from_trace; spill nodes
         #: added later are appended by insert_spill).
         self.source_order: List[int] = []
+        #: monotone structure version; bumped on every mutation.
+        self.version: int = DependenceDAG._next_version()
+        self._txn: Optional[DagTransaction] = None
         self._desc_cache: Optional[Dict[int, int]] = None
         self._mask_index: Optional[Dict[int, int]] = None
         self._mask_order: Optional[List[int]] = None
@@ -318,10 +426,58 @@ class DependenceDAG:
         parallel)."""
         return a != b and not self.reaches(a, b) and not self.reaches(b, a)
 
+    def _expand_mask(self, mask: int) -> Set[int]:
+        """Uids named by the bits of a closure mask."""
+        self._closure()
+        order = self._mask_order
+        result: Set[int] = set()
+        while mask:
+            low = mask & -mask
+            result.add(order[low.bit_length() - 1])
+            mask ^= low
+        return result
+
     def _invalidate(self) -> None:
+        self.version = DependenceDAG._next_version()
         self._desc_cache = None
         self._mask_index = None
         self._mask_order = None
+
+    # ------------------------------------------------------------------
+    # Transactions (edge-only undo journal; see DagTransaction).
+    # ------------------------------------------------------------------
+    def begin_transaction(self) -> DagTransaction:
+        """Open an edge-only transaction; nesting is not allowed.
+
+        The transitive closure is warmed first so every subsequent
+        ``add_sequence_edge`` can maintain it incrementally and record
+        per-node undo deltas.
+        """
+        if self._txn is not None:
+            raise TransactionError("a transaction is already active")
+        self._closure()
+        self._txn = DagTransaction(self)
+        return self._txn
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def _closure_add_edge(self, src: int, dst: int, txn: DagTransaction) -> None:
+        """Incrementally fold edge ``src -> dst`` into the warm closure:
+        ``src`` and all its ancestors gain ``dst`` and ``dst``'s
+        descendants.  Old masks are journaled for rollback."""
+        desc = self._desc_cache
+        index = self._mask_index
+        add_mask = desc[dst] | (1 << index[dst])
+        src_bit = index[src]
+        for uid, mask in desc.items():
+            if uid != src and not (mask >> src_bit & 1):
+                continue
+            new = mask | add_mask
+            if new != mask:
+                txn.record_mask(uid, mask)
+                desc[uid] = new
 
     # ------------------------------------------------------------------
     # Timing.
@@ -378,19 +534,38 @@ class DependenceDAG:
             raise CycleError(f"edge {src}->{dst} would create a cycle")
         if self.graph.has_edge(src, dst):
             return False
-        if self.reaches(src, dst):
-            self.graph.add_edge(src, dst, kind=EdgeKind.SEQ, reason=reason)
-            self._invalidate()
-            return False
+        redundant = self.reaches(src, dst)
         self.graph.add_edge(src, dst, kind=EdgeKind.SEQ, reason=reason)
-        self._invalidate()
-        return True
+        txn = self._txn
+        if txn is not None:
+            # Journaled: maintain the closure in place (a redundant edge
+            # changes no reachability, but dominators — hence hammocks —
+            # may shift, so the version still moves).
+            txn.record_edge(src, dst)
+            if not redundant:
+                self._closure_add_edge(src, dst, txn)
+            self.version = DependenceDAG._next_version()
+        else:
+            self._invalidate()
+        return not redundant
 
     def would_cycle(self, src: int, dst: int) -> bool:
         return src == dst or self.reaches(dst, src)
 
+    def _reject_impure_mutation(self, what: str) -> None:
+        """Transactions journal sequence-edge additions only; anything
+        else is refused *before* mutating, so the DAG stays rollbackable
+        (this is the tripwire for transforms that lie about an
+        edges-only invalidation contract)."""
+        if self._txn is not None:
+            raise TransactionError(
+                f"{what} inside an edge-only transaction: the journal "
+                "cannot undo it"
+            )
+
     def replace_instruction(self, uid: int, new_inst: Instruction) -> None:
         """Swap the instruction stored at ``uid`` (uid must be unchanged)."""
+        self._reject_impure_mutation("instruction rewrite")
         if new_inst.uid != uid:
             raise ValueError("replacement must preserve the uid")
         self.graph.nodes[uid]["inst"] = new_inst
@@ -412,6 +587,7 @@ class DependenceDAG:
 
         Returns ``(spill_uid, reload_uid, reload_name)``.
         """
+        self._reject_impure_mutation("spill insertion")
         def_uid = self.value_defs[value]
         # Normalize once: tolerate generators and repeated use uids
         # (retargeting the same use twice would double-count it).
@@ -490,6 +666,7 @@ class DependenceDAG:
 
         Returns ``(remat_uid, remat_name)``.
         """
+        self._reject_impure_mutation("rematerialization")
         def_uid = self.value_defs[value]
         original = self.instruction(def_uid)
         if original.dest != value:
@@ -571,6 +748,8 @@ class DependenceDAG:
         clone.value_uses = {k: list(v) for k, v in self.value_uses.items()}
         clone.live_out = self.live_out
         clone.source_order = list(self.source_order)
+        clone.version = DependenceDAG._next_version()
+        clone._txn = None
         clone._desc_cache = None
         clone._mask_index = None
         clone._mask_order = None

@@ -4,6 +4,12 @@ This is the top-level user API: pick a method (URSA with any policy, or
 one of the baselines), compile a trace for a machine, and — by default —
 verify the generated VLIW program against the reference interpreter on
 synthesized inputs.
+
+The pipeline itself is composed as explicit passes over a
+:class:`repro.pm.PipelineState` (build_dag -> allocate -> assign ->
+codegen -> verify, or the baseline schedule pass in the middle), run by
+a :class:`repro.pm.PassManager` that owns the ``phase.*`` spans and the
+``verify_each`` inter-pass instrument.  ``repro passes`` lists them.
 """
 
 from __future__ import annotations
@@ -25,6 +31,14 @@ from repro.ir.trace import Trace
 from repro.machine.model import MachineModel
 from repro.machine.simulator import SimulationResult, VLIWSimulator
 from repro.machine.vliw import VLIWProgram
+from repro.pm import (
+    PassManager,
+    PassSpec,
+    PipelineState,
+    register_pass_spec,
+    verify_instrument,
+)
+from repro.pm.analysis import AnalysisManager
 from repro.scheduling.goodman_hsu import compile_goodman_hsu
 from repro.scheduling.list_scheduler import ListScheduler, Schedule
 from repro.scheduling.packer import pack_in_order
@@ -120,6 +134,8 @@ def compile_trace(
     resilient: bool = False,
     deadline: Optional[object] = None,
     transactional: bool = False,
+    incremental: bool = True,
+    analysis_manager: Optional[AnalysisManager] = None,
 ) -> CompilationResult:
     """Compile one trace with the chosen method.
 
@@ -145,6 +161,13 @@ def compile_trace(
     as degraded.  ``transactional`` makes the URSA allocator checkpoint
     each commit and roll back transforms that regress excess or break
     the ``verify_each`` invariants.
+
+    ``incremental`` (default on) lets the URSA allocator score
+    edges-only transform candidates in place via the ``repro.pm``
+    transaction machinery instead of copying the DAG and re-running
+    ``measure_all`` per candidate.  ``analysis_manager`` shares one
+    version-keyed analysis cache across compiles (the whole-program
+    compiler passes one per program).
     """
     if method not in METHODS:
         raise PipelineError(f"unknown method {method!r}; pick one of {METHODS}")
@@ -166,6 +189,8 @@ def compile_trace(
             static_checks=static_checks,
             verify_each=verify_each,
             transactional=transactional,
+            incremental=incremental,
+            analysis_manager=analysis_manager,
         )
     if deadline is not None:
         from repro.resilience.budgets import deadline_scope
@@ -174,12 +199,180 @@ def compile_trace(
             return _compile_once(
                 source, machine, method, live_out, verify, memory, seed,
                 optimize, assignment, static_checks, verify_each,
-                transactional,
+                transactional, incremental, analysis_manager,
             )
     return _compile_once(
         source, machine, method, live_out, verify, memory, seed, optimize,
-        assignment, static_checks, verify_each, transactional,
+        assignment, static_checks, verify_each, transactional, incremental,
+        analysis_manager,
     )
+
+
+# ----------------------------------------------------------------------
+# The pipeline's passes.  Each spec's name doubles as the ``phase.*``
+# span the dashboards key on; ``repro passes`` lists this registry.
+# ----------------------------------------------------------------------
+_SPEC_BUILD_DAG = register_pass_spec(PassSpec(
+    "build_dag",
+    "normalize the input (text, instructions, Trace, DAG) into a "
+    "dependence DAG",
+    provides=("dag",),
+))
+_SPEC_ALLOCATE = register_pass_spec(PassSpec(
+    "allocate",
+    "URSA measurement/transformation loop for registers and functional "
+    "units",
+    requires=("dag",),
+    provides=("allocation", "final_dag"),
+))
+_SPEC_ASSIGN = register_pass_spec(PassSpec(
+    "assign",
+    "bind the allocated DAG to concrete units/registers and a schedule",
+    requires=("allocation",),
+    provides=("schedule",),
+))
+_SPEC_SCHEDULE = register_pass_spec(PassSpec(
+    "schedule",
+    "baseline scheduling (prepass, postpass, goodman-hsu, naive, "
+    "spill-everywhere)",
+    requires=("dag",),
+    provides=("schedule", "final_dag"),
+))
+_SPEC_STATIC_CHECKS = register_pass_spec(PassSpec(
+    "static_checks",
+    "gate the schedule on the repro.verify rule pack before simulating",
+    requires=("schedule",),
+    emit_span=False,
+))
+_SPEC_CODEGEN = register_pass_spec(PassSpec(
+    "codegen",
+    "lower the schedule to a VLIW program",
+    requires=("schedule",),
+    provides=("program",),
+))
+_SPEC_VERIFY = register_pass_spec(PassSpec(
+    "verify",
+    "simulate the program and compare memory against the reference "
+    "interpreter",
+    requires=("program",),
+    provides=("simulation", "verified"),
+))
+
+
+def _pass_build_dag(state: PipelineState) -> None:
+    state.dag = build_dag(state.source, live_out=state.live_out)
+
+
+def _pass_allocate(state: PipelineState) -> None:
+    opts = state.options
+    state.allocation = URSAAllocator(
+        state.machine,
+        _URSA_POLICIES[state.method],
+        verify_each=opts["verify_each"],
+        transactional=opts["transactional"],
+        incremental=opts["incremental"],
+        analysis_manager=state.analysis_manager,
+    ).run(state.dag)
+    state.final_dag = state.allocation.dag
+
+
+def _pass_assign(state: PipelineState) -> None:
+    from repro.core.assignment import assign
+
+    state.schedule = assign(
+        state.final_dag,
+        state.machine,
+        state.allocation,
+        backend=state.options["assignment"],
+    ).schedule
+
+
+def _pass_schedule(state: PipelineState) -> None:
+    dag, machine, method = state.dag, state.machine, state.method
+    if method == "prepass":
+        state.schedule = compile_prepass(dag, machine)
+    elif method == "postpass":
+        state.schedule = compile_postpass(dag, machine)
+    elif method == "goodman-hsu":
+        state.schedule = compile_goodman_hsu(dag, machine)
+    elif method == "spill-everywhere":
+        from repro.resilience.fallback import spill_everywhere_schedule
+
+        state.schedule = spill_everywhere_schedule(dag, machine)
+    else:  # naive: allocate on source order, pack without reordering
+        order = dag.source_order or sorted(dag.op_nodes())
+        source_insts = [dag.instruction(uid) for uid in order]
+        live_ins = sorted(
+            name for name, d in dag.value_defs.items() if d == dag.entry
+        )
+        outcome = LinearScanAllocator(machine).run(
+            source_insts, live_ins=live_ins, live_outs=sorted(dag.live_out)
+        )
+        state.schedule = pack_in_order(outcome.instructions, machine, outcome)
+    state.final_dag = dag
+
+
+def _pass_static_checks(state: PipelineState) -> None:
+    from repro.verify import verify_schedule
+
+    report = verify_schedule(
+        state.schedule, dag=state.final_dag, machine=state.machine
+    )
+    if not report.ok:
+        raise PipelineError(
+            f"{state.method} on {state.machine.name}: static schedule "
+            f"verification failed\n{report.render()}"
+        )
+
+
+def _pass_codegen(state: PipelineState) -> None:
+    state.program = lower_schedule(state.schedule)
+
+
+def _pass_verify(state: PipelineState) -> None:
+    memory = state.options["memory"]
+    init_memory = (
+        memory
+        if memory is not None
+        else synthesize_memory(state.dag, state.options["seed"])
+    )
+    state.simulation, state.verified = _verify(
+        state.dag,
+        state.program,
+        state.machine,
+        init_memory,
+        state.schedule.live_out_regs,
+    )
+    if not state.verified:
+        raise PipelineError(
+            f"{state.method} on {state.machine.name}: simulated memory "
+            "diverges from the reference interpreter"
+        )
+
+
+def build_pipeline(
+    method: str,
+    *,
+    verify: bool = True,
+    static_checks: bool = True,
+    verify_each: bool = False,
+) -> PassManager:
+    """The pass pipeline ``compile_trace`` runs for ``method``."""
+    manager = PassManager()
+    manager.add(_SPEC_BUILD_DAG, _pass_build_dag)
+    if method in _URSA_POLICIES:
+        manager.add(_SPEC_ALLOCATE, _pass_allocate)
+        manager.add(_SPEC_ASSIGN, _pass_assign)
+    else:
+        manager.add(_SPEC_SCHEDULE, _pass_schedule)
+    if static_checks:
+        manager.add(_SPEC_STATIC_CHECKS, _pass_static_checks)
+    manager.add(_SPEC_CODEGEN, _pass_codegen)
+    if verify:
+        manager.add(_SPEC_VERIFY, _pass_verify)
+    if verify_each:
+        manager.add_instrument(verify_instrument)
+    return manager
 
 
 def _compile_once(
@@ -195,6 +388,8 @@ def _compile_once(
     static_checks: bool,
     verify_each: bool,
     transactional: bool,
+    incremental: bool = True,
+    analysis_manager: Optional[AnalysisManager] = None,
 ) -> CompilationResult:
     """One rung of compilation; no ladder, deadline comes from scope."""
 
@@ -213,95 +408,40 @@ def _compile_once(
         )
         source, _ = _optimize(instructions, live_out=live_out)
 
-    with obs.span("phase.build_dag", method=method):
-        dag = build_dag(source, live_out=live_out)
-    allocation: Optional[AllocationResult] = None
-
-    if method in _URSA_POLICIES:
-        from repro.core.assignment import assign
-
-        with obs.span("phase.allocate", method=method):
-            allocation = URSAAllocator(
-                machine,
-                _URSA_POLICIES[method],
-                verify_each=verify_each,
-                transactional=transactional,
-            ).run(dag)
-        with obs.span("phase.assign", method=method):
-            schedule = assign(
-                allocation.dag, machine, allocation, backend=assignment
-            ).schedule
-        final_dag = allocation.dag
-    elif method == "prepass":
-        with obs.span("phase.schedule", method=method):
-            schedule = compile_prepass(dag, machine)
-        final_dag = dag
-    elif method == "postpass":
-        with obs.span("phase.schedule", method=method):
-            schedule = compile_postpass(dag, machine)
-        final_dag = dag
-    elif method == "goodman-hsu":
-        with obs.span("phase.schedule", method=method):
-            schedule = compile_goodman_hsu(dag, machine)
-        final_dag = dag
-    elif method == "spill-everywhere":
-        from repro.resilience.fallback import spill_everywhere_schedule
-
-        with obs.span("phase.schedule", method=method):
-            schedule = spill_everywhere_schedule(dag, machine)
-        final_dag = dag
-    else:  # naive: allocate on source order, pack without reordering
-        with obs.span("phase.schedule", method=method):
-            order = dag.source_order or sorted(dag.op_nodes())
-            source_insts = [dag.instruction(uid) for uid in order]
-            live_ins = sorted(
-                name for name, d in dag.value_defs.items() if d == dag.entry
-            )
-            outcome = LinearScanAllocator(machine).run(
-                source_insts, live_ins=live_ins, live_outs=sorted(dag.live_out)
-            )
-            schedule = pack_in_order(outcome.instructions, machine, outcome)
-        final_dag = dag
-
-    if static_checks:
-        from repro.verify import verify_schedule
-
-        report = verify_schedule(schedule, dag=final_dag, machine=machine)
-        if not report.ok:
-            raise PipelineError(
-                f"{method} on {machine.name}: static schedule verification "
-                f"failed\n{report.render()}"
-            )
-
-    with obs.span("phase.codegen", method=method):
-        program = lower_schedule(schedule)
-
-    simulation: Optional[SimulationResult] = None
-    verified: Optional[bool] = None
-    if verify:
-        init_memory = memory if memory is not None else synthesize_memory(dag, seed)
-        with obs.span("phase.verify", method=method):
-            simulation, verified = _verify(
-                dag, program, machine, init_memory, schedule.live_out_regs
-            )
-        if not verified:
-            raise PipelineError(
-                f"{method} on {machine.name}: simulated memory diverges "
-                "from the reference interpreter"
-            )
+    state = PipelineState(
+        machine=machine,
+        method=method,
+        source=source,
+        live_out=tuple(live_out),
+        options={
+            "memory": memory,
+            "seed": seed,
+            "assignment": assignment,
+            "verify_each": verify_each,
+            "transactional": transactional,
+            "incremental": incremental,
+        },
+        analysis_manager=analysis_manager or AnalysisManager(),
+    )
+    build_pipeline(
+        method,
+        verify=verify,
+        static_checks=static_checks,
+        verify_each=verify_each,
+    ).run(state)
 
     stats = ScheduleStats.collect(
-        method, schedule, program, simulation, verified
+        method, state.schedule, state.program, state.simulation, state.verified
     )
     return CompilationResult(
         method=method,
         machine=machine,
-        dag=final_dag,
-        schedule=schedule,
-        program=program,
-        allocation=allocation,
-        simulation=simulation,
-        verified=verified,
+        dag=state.final_dag,
+        schedule=state.schedule,
+        program=state.program,
+        allocation=state.allocation,
+        simulation=state.simulation,
+        verified=state.verified,
         stats=stats,
     )
 

@@ -1,0 +1,44 @@
+"""repro.pm — pass manager, analysis caching, incremental re-measurement.
+
+Three pieces (see ``docs/passes.md``):
+
+* :mod:`repro.pm.analysis` — :class:`AnalysisManager`, a cache of
+  derived artifacts keyed by the DAG's monotone version;
+* :mod:`repro.pm.incremental` — :class:`IncrementalMeasurer`, scoring
+  edges-only transform candidates in place under a DAG transaction
+  instead of copy + ``measure_all``;
+* :mod:`repro.pm.passes` — :class:`PassManager` composing the pipeline
+  as explicit, instrumented passes.
+"""
+
+from repro.pm.analysis import ANALYSES, AnalysisManager, AnalysisSpec
+from repro.pm.incremental import (
+    IncrementalMeasurer,
+    InvalidationError,
+    TrialOutcome,
+)
+from repro.pm.passes import (
+    PASS_REGISTRY,
+    Pass,
+    PassManager,
+    PassSpec,
+    PipelineState,
+    register_pass_spec,
+    verify_instrument,
+)
+
+__all__ = [
+    "ANALYSES",
+    "AnalysisManager",
+    "AnalysisSpec",
+    "IncrementalMeasurer",
+    "InvalidationError",
+    "TrialOutcome",
+    "PASS_REGISTRY",
+    "Pass",
+    "PassManager",
+    "PassSpec",
+    "PipelineState",
+    "register_pass_spec",
+    "verify_instrument",
+]

@@ -253,15 +253,25 @@ def compile_program(
 
     Per-trace compilation is not individually simulated (the whole
     program is verified end-to-end instead; see
-    :func:`verify_compiled_program`).
+    :func:`verify_compiled_program`).  All traces share one
+    :class:`~repro.pm.analysis.AnalysisManager` — cache entries are
+    keyed by globally unique DAG versions, so a cross-trace cache is
+    sound, and the shared hit/miss counters describe the whole program.
     """
+    from repro.pm.analysis import AnalysisManager
+
     program.validate()
     traces = entry_safe_traces(program, max_trace_blocks=max_trace_blocks)
     compiled: Dict[str, CompiledTrace] = {}
+    analysis_manager = AnalysisManager()
     for trace in traces:
         prepared = prepare_trace(program, trace)
         result = compile_trace(
-            prepared.instructions, machine, method=method, verify=False
+            prepared.instructions,
+            machine,
+            method=method,
+            verify=False,
+            analysis_manager=analysis_manager,
         )
         compiled[prepared.head] = CompiledTrace(
             prepared=prepared,

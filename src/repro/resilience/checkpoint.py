@@ -33,27 +33,43 @@ class DagCheckpoint:
     not be mutated after capture (candidates always ``apply()`` onto
     fresh clones).  ``deep=True`` forces a structural copy for callers
     that cannot promise that.
+
+    The incremental allocator path mutates the DAG *in place* under an
+    open :class:`~repro.graph.dag.DagTransaction` instead; pass that
+    transaction as ``txn`` and ``restore()`` rolls its journal back —
+    which also restores the DAG's version, so every analysis cached
+    against the pre-commit structure becomes servable again.
     """
 
     dag: object
     requirements: Tuple
     label: str = ""
+    #: Open commit transaction to roll back on restore (in-place path).
+    txn: Optional[object] = None
 
     @classmethod
     def capture(
-        cls, dag, requirements: Sequence = (), label: str = "", deep: bool = False
+        cls,
+        dag,
+        requirements: Sequence = (),
+        label: str = "",
+        deep: bool = False,
+        txn=None,
     ) -> "DagCheckpoint":
         obs.count("resilience.checkpoints")
         return cls(
             dag=dag.copy() if deep else dag,
             requirements=tuple(requirements),
             label=label,
+            txn=txn,
         )
 
     def restore(self) -> Tuple[object, List]:
         """Return the checkpointed state (counted; the caller emits the
         richer ``resilience.rollback`` event with its own context)."""
         obs.count("resilience.rollbacks")
+        if self.txn is not None and self.txn.active:
+            self.txn.rollback()
         return self.dag, list(self.requirements)
 
 

@@ -276,12 +276,12 @@ class TestTransactionalRollback:
             out = real_step(dag, requirements, iteration)
             if out is None:
                 return None
-            new_dag, new_reqs, record = out
+            new_dag, new_reqs, record, txn = out
             victim = next(
                 name for name, uses in new_dag.value_uses.items() if uses
             )
             new_dag.value_uses[victim].append(new_dag.value_uses[victim][0])
-            return new_dag, new_reqs, record
+            return new_dag, new_reqs, record, txn
 
         monkeypatch.setattr(allocator, "_step", bad_step)
         with obs.capture() as observer:
