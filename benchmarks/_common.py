@@ -35,6 +35,27 @@ def emit_table(
     return text
 
 
+def emit_json(payload: object, path: Path) -> None:
+    """Persist a machine-readable benchmark artifact.
+
+    Unlike :func:`emit`, the destination is explicit: trajectory files
+    that are checked in (e.g. ``BENCH_measurement_scaling.json`` at the
+    repo root) live outside ``results/``.
+    """
+    import json
+
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path: Path) -> Optional[dict]:
+    """Load a checked-in benchmark artifact, ``None`` when absent."""
+    import json
+
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
 def emit_profile(name: str, source, title: Optional[str] = None) -> str:
     """Persist an observability breakdown to results/<name>_profile.txt.
 

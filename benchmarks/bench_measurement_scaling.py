@@ -1,56 +1,187 @@
 """Experiment Thm.1 / §3.1: measurement correctness and scaling.
 
 Validates Dilworth's theorem (decomposition size == max antichain) on a
-size sweep of random DAGs and records how the hammock-prioritized
-matching scales (the paper quotes O(N^3) worst case for the modified
-matching; the realized growth on layered DAGs is recorded in the table).
+size sweep of random DAGs, and records the bitset measurement core's
+speedup over the legacy (dict-of-sets) engine as a *checked-in perf
+trajectory*: ``BENCH_measurement_scaling.json`` at the repo root holds
+the per-N median wall times, the matcher each engine used, and the
+speedup, so a regression shows up as a diff.
+
+Both engines run ``measure_all`` on the *same* DAG instance (uids come
+from a global counter, so two separately-built DAGs from one trace are
+not comparable) and must produce bit-identical results — same
+``required`` widths and the same chain decompositions.
+
+Runs standalone for the CI smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_measurement_scaling.py --quick --check
+
+``--check`` compares the measured speedups against the checked-in
+baseline and exits non-zero when any size regresses by more than 20%.
+Speedups (not wall times) are compared because the two engines share the
+run's machine: the ratio is stable across hosts while absolute times are
+not.  ``--update`` rewrites the baseline from the current run.
 """
 
+from __future__ import annotations
+
+import argparse
+import gc
+import statistics
+import sys
 import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+if __package__ in (None, ""):  # standalone: find _common and (maybe) repro
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    _src = Path(__file__).resolve().parents[1] / "src"
+    if str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
 
 import pytest
 
-from _common import emit_table
+from _common import RESULTS_DIR, emit_json, emit_table, load_json
 from repro.core.measure import measure_all
+from repro.graph import bitset
 from repro.graph.dag import DependenceDAG
 from repro.graph.dilworth import maximum_antichain
 from repro.machine.model import MachineModel
 from repro.workloads.random_dags import random_layered_trace
 
-SIZES = (16, 32, 64, 128, 256)
+SIZES = (16, 32, 64, 128, 256, 512, 1024)
+QUICK_SIZES = (64, 128, 256)
 MACHINE = MachineModel.homogeneous(4, 8)
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_measurement_scaling.json"
+#: --check fails when a size's speedup falls below baseline * (1 - this).
+REGRESSION_TOLERANCE = 0.20
 
 
-def measure_at(n_ops):
+def _build_dag(n_ops: int) -> DependenceDAG:
     trace = random_layered_trace(n_ops=n_ops, width=max(4, n_ops // 6), seed=n_ops)
-    dag = DependenceDAG.from_trace(trace)
-    start = time.perf_counter()
-    requirements = measure_all(dag, MACHINE)
-    elapsed = time.perf_counter() - start
-    return dag, requirements, elapsed
+    return DependenceDAG.from_trace(trace)
 
 
+def _decomposition_key(requirements) -> list:
+    """Everything bit-identity promises: widths, chains, kill choices."""
+    return [
+        (
+            r.kind.value,
+            r.cls,
+            r.required,
+            tuple(sorted(tuple(chain) for chain in r.decomposition.chains)),
+            tuple(sorted(r.kill.kill.items())) if r.kill is not None else None,
+        )
+        for r in requirements
+    ]
+
+
+def _median_ms(fn, repeats: int) -> float:
+    """Median wall milliseconds with the GC parked (both engines get the
+    same treatment, so the ratio is undistorted)."""
+    samples = []
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return statistics.median(samples) * 1000.0
+
+
+def measure_at(n_ops: int, repeats: int = 5) -> Dict[str, object]:
+    """Time both engines on one shared DAG; assert bit-identity."""
+    dag = _build_dag(n_ops)
+    fast_result = measure_all(dag, MACHINE)  # warm version-keyed caches
+    fast_ms = _median_ms(lambda: measure_all(dag, MACHINE), repeats)
+    with bitset.engine("legacy"):
+        legacy_result = measure_all(dag, MACHINE)
+        legacy_ms = _median_ms(lambda: measure_all(dag, MACHINE), repeats)
+    if _decomposition_key(fast_result) != _decomposition_key(legacy_result):
+        raise AssertionError(
+            f"N={n_ops}: bitset and legacy engines disagree — bit-identity broken"
+        )
+    fu = next(r for r in fast_result if r.kind.value == "fu")
+    reg = next(r for r in fast_result if r.kind.value == "reg")
+    return {
+        "n_ops": n_ops,
+        "dag_nodes": len(dag),
+        "fu_width": fu.required,
+        "reg_width": reg.required,
+        "fast_ms": round(fast_ms, 3),
+        "legacy_ms": round(legacy_ms, 3),
+        "speedup": round(legacy_ms / fast_ms, 2) if fast_ms else None,
+        "matcher": "bitset-kuhn(levels)",
+        "legacy_matcher": "prioritized-dict",
+    }
+
+
+def run_benchmark(
+    sizes: Sequence[int] = SIZES, repeats: int = 5
+) -> List[Dict[str, object]]:
+    return [measure_at(n, repeats) for n in sizes]
+
+
+def check_against_baseline(
+    entries: Sequence[Dict[str, object]],
+    baseline: Optional[dict],
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Regressions of measured speedup vs the checked-in trajectory."""
+    if baseline is None:
+        return ["no baseline: run with --update to create one"]
+    by_n = {e["n_ops"]: e for e in baseline.get("entries", ())}
+    failures = []
+    for entry in entries:
+        ref = by_n.get(entry["n_ops"])
+        if ref is None or not ref.get("speedup"):
+            continue
+        floor = ref["speedup"] * (1.0 - tolerance)
+        if entry["speedup"] < floor:
+            failures.append(
+                f"N={entry['n_ops']}: speedup {entry['speedup']:.2f}x fell "
+                f"below {floor:.2f}x (baseline {ref['speedup']:.2f}x - {tolerance:.0%})"
+            )
+    return failures
+
+
+def _emit(entries: Sequence[Dict[str, object]]) -> None:
+    emit_table(
+        "measurement_scaling",
+        ("n_ops", "dag nodes", "FU width", "Reg width",
+         "bitset ms", "legacy ms", "speedup"),
+        [
+            (e["n_ops"], e["dag_nodes"], e["fu_width"], e["reg_width"],
+             f"{e['fast_ms']:.1f}", f"{e['legacy_ms']:.1f}",
+             f"{e['speedup']:.1f}x")
+            for e in entries
+        ],
+        "Theorem 1 / §3.1 — measurement scaling, bitset vs legacy engine",
+    )
+
+
+# ======================================================================
+# Pytest entry points (tier-2: `pytest benchmarks/ -s`).
+# ======================================================================
 def test_dilworth_equality_holds_across_sizes():
-    rows = []
-    for n_ops in SIZES:
-        dag, requirements, elapsed = measure_at(n_ops)
-        for requirement in requirements:
+    for n_ops in QUICK_SIZES:
+        dag = _build_dag(n_ops)
+        for requirement in measure_all(dag, MACHINE):
             antichain = maximum_antichain(requirement.order)
             assert len(antichain) == requirement.required, (
                 f"Dilworth violated at N={n_ops} for {requirement.cls}"
             )
-        fu = next(r for r in requirements if r.kind.value == "fu")
-        reg = next(r for r in requirements if r.kind.value == "reg")
-        rows.append(
-            (n_ops, len(dag.op_nodes()), fu.required, reg.required,
-             f"{elapsed * 1000:.1f}")
-        )
-    emit_table(
-        "measurement_scaling",
-        ("n_ops", "dag nodes", "FU width", "Reg width", "measure ms"),
-        rows,
-        "Theorem 1 / §3.1 — Dilworth equality and measurement scaling",
-    )
+
+
+def test_engines_bit_identical_on_sweep():
+    # measure_at raises on any divergence; one repeat keeps this fast.
+    for n_ops in QUICK_SIZES:
+        measure_at(n_ops, repeats=1)
 
 
 @pytest.mark.parametrize("n_ops", [64])
@@ -58,3 +189,60 @@ def test_measurement_scaling_benchmark(benchmark, n_ops):
     trace = random_layered_trace(n_ops=n_ops, width=10, seed=n_ops)
     dag = DependenceDAG.from_trace(trace)
     benchmark(measure_all, dag, MACHINE)
+
+
+# ======================================================================
+# Standalone CLI (CI bench-smoke job).
+# ======================================================================
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small-size subset with fewer repeats for the CI smoke job",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail when any size's speedup regresses >20%% vs the "
+             "checked-in BENCH_measurement_scaling.json",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite BENCH_measurement_scaling.json from this run",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else SIZES
+    repeats = 3 if args.quick else 5
+    entries = run_benchmark(sizes, repeats)
+    _emit(entries)
+
+    payload = {
+        "benchmark": "measurement_scaling",
+        "workload": "random_layered_trace(n, width=max(4, n//6), seed=n)",
+        "machine": "homogeneous(4 FUs, 8 regs)",
+        "protocol": f"median of {repeats}, gc disabled, shared DAG",
+        "entries": list(entries),
+    }
+    # Every run regenerates the JSON as a results artifact; only
+    # --update rewrites the checked-in repo-root baseline.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    emit_json(payload, RESULTS_DIR / "measurement_scaling.json")
+    if args.update:
+        emit_json(payload, BASELINE_PATH)
+        print(f"baseline written: {BASELINE_PATH}")
+
+    if args.check:
+        failures = check_against_baseline(entries, load_json(BASELINE_PATH))
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"speedups within {REGRESSION_TOLERANCE:.0%} of baseline "
+            f"for all {len(entries)} sizes"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,13 @@ We implement that with an exact branch-and-bound for small instances and
 the classical greedy set-cover heuristic beyond that, plus the two easy
 cases: a value with no uses is killed by its own definition, and a value
 whose maximal uses are unique has a forced killer.
+
+The cover search runs on packed int bitmasks (one bit per contested
+value) shared with the rest of the measurement core; the set-based
+originals survive behind the ``legacy`` engine of
+:mod:`repro.graph.bitset` and both make byte-identical choices — the
+greedy tie-break (largest gain, then smallest node) and the
+branch-and-bound order, bounds, and budgets are preserved exactly.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 
 from repro import obs
 from repro.core.reuse import ValueInfo
+from repro.graph import bitset
 from repro.graph.dag import DependenceDAG
 from repro.resilience import budgets, chaos
 
@@ -59,12 +67,22 @@ def candidate_killers(dag: DependenceDAG, value: ValueInfo) -> List[int]:
     before it, so only *maximal* uses qualify.
     """
     uses = list(value.use_uids)
-    maximal = [
-        u
-        for u in uses
-        if not any(other != u and dag.reaches(u, other) for other in uses)
-    ]
-    return sorted(maximal)
+    if len(uses) <= 1:
+        # Zero or one use: trivially maximal, no reachability needed
+        # (callers probe values whose uses may not even be in this DAG).
+        return uses
+    if bitset.active_engine() == "legacy":
+        maximal = [
+            u
+            for u in uses
+            if not any(other != u and dag.reaches(u, other) for other in uses)
+        ]
+        return sorted(maximal)
+    desc, node_index, _ = dag.closure_masks()
+    use_mask = 0
+    for u in uses:
+        use_mask |= 1 << node_index[u]
+    return sorted(u for u in uses if not (desc[u] & use_mask))
 
 
 def select_kill(
@@ -103,17 +121,36 @@ def select_kill(
 
     universe = sorted(contested)
     candidate_nodes = sorted({c for cands in contested.values() for c in cands})
-    covers: Dict[int, FrozenSet[str]] = {
-        node: frozenset(
-            name for name in universe if node in contested[name]
-        )
-        for node in candidate_nodes
-    }
-
-    if len(candidate_nodes) <= exact_limit:
-        chosen, complete = _exact_min_cover_budgeted(
+    if bitset.active_engine() == "legacy":
+        covers: Dict[int, FrozenSet[str]] = {
+            node: frozenset(
+                name for name in universe if node in contested[name]
+            )
+            for node in candidate_nodes
+        }
+        greedy = lambda: _greedy_cover_sets(  # noqa: E731
             universe, candidate_nodes, covers
         )
+        exact_cover = lambda: _exact_cover_sets(  # noqa: E731
+            universe, candidate_nodes, covers
+        )
+    else:
+        value_bit = {name: i for i, name in enumerate(universe)}
+        cover_masks = {node: 0 for node in candidate_nodes}
+        for name, cands in contested.items():
+            bit = 1 << value_bit[name]
+            for node in cands:
+                cover_masks[node] |= bit
+        universe_mask = (1 << len(universe)) - 1
+        greedy = lambda: _greedy_cover_masks(  # noqa: E731
+            universe_mask, candidate_nodes, cover_masks
+        )
+        exact_cover = lambda: _exact_cover_masks(  # noqa: E731
+            universe_mask, candidate_nodes, cover_masks
+        )
+
+    if len(candidate_nodes) <= exact_limit:
+        chosen, complete = exact_cover()
         exact = complete
         if complete:
             obs.count("kill.exact_covers")
@@ -125,7 +162,7 @@ def select_kill(
                 candidates=len(candidate_nodes),
             )
     else:
-        chosen = _greedy_min_cover(universe, candidate_nodes, covers)
+        chosen = greedy()
         exact = False
         obs.count("kill.greedy_covers")
 
@@ -142,12 +179,54 @@ def select_kill(
     return KillAssignment(kill, frozenset(universe), exact)
 
 
-def _greedy_min_cover(
+# ======================================================================
+# Set-cover cores (bitmask).  The public ``_greedy_min_cover`` /
+# ``_exact_min_cover`` wrappers keep the historical frozenset signature.
+# ======================================================================
+def _greedy_cover_masks(
+    universe_mask: int,
+    nodes: List[int],
+    cover_masks: Mapping[int, int],
+) -> List[int]:
+    """Classical ln(n)-approximate greedy set cover on bitmasks.
+
+    Lazy-greedy: gains only shrink as the cover grows (submodularity), so
+    stale heap entries are safe upper bounds — a popped entry whose gain
+    is still current is a true argmax.  The heap key ``(-gain, node)``
+    reproduces the set version's tie-break exactly: largest gain first,
+    then the smallest node id.
+    """
+    import heapq
+
+    uncovered = universe_mask
+    chosen: List[int] = []
+    heap = [
+        (-bitset.popcount(cover_masks[node]), node) for node in sorted(nodes)
+    ]
+    heapq.heapify(heap)
+    while uncovered:
+        if not heap:  # pragma: no cover - every value has >= 1 candidate
+            raise AssertionError("uncoverable value in kill selection")
+        stale_gain, node = heapq.heappop(heap)
+        gain_mask = cover_masks[node] & uncovered
+        gain = bitset.popcount(gain_mask)
+        if -stale_gain != gain:
+            if gain:
+                heapq.heappush(heap, (-gain, node))
+            continue
+        if not gain:  # pragma: no cover - every value has >= 1 candidate
+            raise AssertionError("uncoverable value in kill selection")
+        chosen.append(node)
+        uncovered &= ~gain_mask
+    return chosen
+
+
+def _greedy_cover_sets(
     universe: List[str],
     nodes: List[int],
     covers: Mapping[int, FrozenSet[str]],
 ) -> List[int]:
-    """Classical ln(n)-approximate greedy set cover."""
+    """The original frozenset greedy cover (the ``legacy`` engine)."""
     uncovered: Set[str] = set(universe)
     chosen: List[int] = []
     while uncovered:
@@ -158,6 +237,142 @@ def _greedy_min_cover(
         chosen.append(best)
         uncovered -= gain
     return chosen
+
+
+def _exact_cover_sets(
+    universe: List[str],
+    nodes: List[int],
+    covers: Mapping[int, FrozenSet[str]],
+    node_budget: int = EXACT_COVER_NODE_BUDGET,
+) -> Tuple[List[int], bool]:
+    """The original frozenset branch-and-bound (the ``legacy`` engine)."""
+    best_solution = _greedy_cover_sets(universe, nodes, covers)
+    best_size = len(best_solution)
+    universe_set = frozenset(universe)
+
+    ordered = sorted(nodes, key=lambda n: -len(covers[n]))
+    max_cover = max((len(covers[n]) for n in ordered), default=1)
+
+    deadline = budgets.active_deadline()
+    explored = 0
+    truncated = False
+
+    def search(index: int, chosen: List[int], covered: FrozenSet[str]) -> None:
+        nonlocal best_solution, best_size, explored, truncated
+        if truncated:
+            return
+        explored += 1
+        if explored > node_budget or (
+            deadline is not None
+            and explored % 256 == 0
+            and deadline.expired()
+        ):
+            truncated = True
+            return
+        if covered == universe_set:
+            if len(chosen) < best_size:
+                best_size = len(chosen)
+                best_solution = list(chosen)
+            return
+        if index >= len(ordered) or len(chosen) >= best_size - 1:
+            return
+        remaining = len(universe_set - covered)
+        if len(chosen) + (remaining + max_cover - 1) // max_cover >= best_size:
+            return
+        node = ordered[index]
+        gain = covers[node] - covered
+        if gain:
+            chosen.append(node)
+            search(index + 1, chosen, covered | gain)
+            chosen.pop()
+        search(index + 1, chosen, covered)
+
+    search(0, [], frozenset())
+    return best_solution, not truncated
+
+
+def _exact_cover_masks(
+    universe_mask: int,
+    nodes: List[int],
+    cover_masks: Mapping[int, int],
+    node_budget: int = EXACT_COVER_NODE_BUDGET,
+) -> Tuple[List[int], bool]:
+    """Branch-and-bound cover plus a flag: True when the search finished
+    (the result is provably minimum), False when a budget cut it short.
+
+    Same search tree as the historical frozenset version: nodes ordered
+    by descending coverage (ties by ascending id, via stable sort), the
+    greedy seed as incumbent, identical bounds and budget checks.
+    """
+    best_solution = _greedy_cover_masks(universe_mask, nodes, cover_masks)
+    best_size = len(best_solution)
+
+    ordered = sorted(nodes, key=lambda n: -bitset.popcount(cover_masks[n]))
+    max_cover = max(
+        (bitset.popcount(cover_masks[n]) for n in ordered), default=1
+    )
+
+    deadline = budgets.active_deadline()
+    explored = 0
+    truncated = False
+
+    def search(index: int, chosen: List[int], covered: int) -> None:
+        nonlocal best_solution, best_size, explored, truncated
+        if truncated:
+            return
+        explored += 1
+        if explored > node_budget or (
+            deadline is not None
+            and explored % 256 == 0
+            and deadline.expired()
+        ):
+            truncated = True
+            return
+        if covered == universe_mask:
+            if len(chosen) < best_size:
+                best_size = len(chosen)
+                best_solution = list(chosen)
+            return
+        if index >= len(ordered) or len(chosen) >= best_size - 1:
+            return
+        remaining = bitset.popcount(universe_mask & ~covered)
+        # Lower bound: even perfect covers need ceil(remaining / max) picks.
+        if len(chosen) + (remaining + max_cover - 1) // max_cover >= best_size:
+            return
+        node = ordered[index]
+        gain = cover_masks[node] & ~covered
+        if gain:
+            chosen.append(node)
+            search(index + 1, chosen, covered | gain)
+            chosen.pop()
+        search(index + 1, chosen, covered)
+
+    search(0, [], 0)
+    return best_solution, not truncated
+
+
+# ======================================================================
+# Frozenset-signature wrappers (kept for callers and the test suite).
+# ======================================================================
+def _masks_from_covers(
+    universe: List[str], covers: Mapping[int, FrozenSet[str]]
+) -> Tuple[int, Dict[int, int]]:
+    value_bit = {name: i for i, name in enumerate(universe)}
+    cover_masks = {
+        node: bitset.mask_of(value_bit[name] for name in names)
+        for node, names in covers.items()
+    }
+    return (1 << len(universe)) - 1, cover_masks
+
+
+def _greedy_min_cover(
+    universe: List[str],
+    nodes: List[int],
+    covers: Mapping[int, FrozenSet[str]],
+) -> List[int]:
+    """Classical ln(n)-approximate greedy set cover."""
+    universe_mask, cover_masks = _masks_from_covers(universe, covers)
+    return _greedy_cover_masks(universe_mask, nodes, cover_masks)
 
 
 def _exact_min_cover(
@@ -186,48 +401,7 @@ def _exact_min_cover_budgeted(
 ) -> Tuple[List[int], bool]:
     """Branch-and-bound cover plus a flag: True when the search finished
     (the result is provably minimum), False when a budget cut it short."""
-    best_solution = _greedy_min_cover(universe, nodes, covers)
-    best_size = len(best_solution)
-    universe_set = frozenset(universe)
-
-    # Order nodes by descending coverage for effective pruning.
-    ordered = sorted(nodes, key=lambda n: -len(covers[n]))
-    max_cover = max((len(covers[n]) for n in ordered), default=1)
-
-    deadline = budgets.active_deadline()
-    explored = 0
-    truncated = False
-
-    def search(index: int, chosen: List[int], covered: FrozenSet[str]) -> None:
-        nonlocal best_solution, best_size, explored, truncated
-        if truncated:
-            return
-        explored += 1
-        if explored > node_budget or (
-            deadline is not None
-            and explored % 256 == 0
-            and deadline.expired()
-        ):
-            truncated = True
-            return
-        if covered == universe_set:
-            if len(chosen) < best_size:
-                best_size = len(chosen)
-                best_solution = list(chosen)
-            return
-        if index >= len(ordered) or len(chosen) >= best_size - 1:
-            return
-        remaining = len(universe_set - covered)
-        # Lower bound: even perfect covers need ceil(remaining / max) picks.
-        if len(chosen) + (remaining + max_cover - 1) // max_cover >= best_size:
-            return
-        node = ordered[index]
-        gain = covers[node] - covered
-        if gain:
-            chosen.append(node)
-            search(index + 1, chosen, covered | gain)
-            chosen.pop()
-        search(index + 1, chosen, covered)
-
-    search(0, [], frozenset())
-    return best_solution, not truncated
+    universe_mask, cover_masks = _masks_from_covers(universe, covers)
+    return _exact_cover_masks(
+        universe_mask, nodes, cover_masks, node_budget=node_budget
+    )

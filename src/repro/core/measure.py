@@ -115,11 +115,13 @@ def measure_fu(
     analysis: Optional[HammockAnalysis] = None,
 ) -> ResourceRequirement:
     """Worst-case number of ``fu_class`` units any schedule can use."""
-    analysis = analysis or HammockAnalysis(dag)
+    analysis = analysis or HammockAnalysis.of(dag)
     elements = fu_elements(dag, machine, fu_class)
     order = can_reuse_fu(dag, elements)
+    # levels= is the vectorized spelling of priority=analysis.edge_priority
+    # (abs nesting-level difference); the decomposition is identical.
     decomposition = minimum_chain_decomposition(
-        order, priority=analysis.edge_priority
+        order, levels=analysis.nesting_levels()
     )
     obs.count("measure.fu_requirements")
     obs.peak("measure.fu_width_peak", decomposition.width)
@@ -141,7 +143,7 @@ def measure_registers(
     kill: Optional[KillAssignment] = None,
 ) -> ResourceRequirement:
     """Worst-case number of ``reg_class`` registers any schedule can need."""
-    analysis = analysis or HammockAnalysis(dag)
+    analysis = analysis or HammockAnalysis.of(dag)
     values = [
         v for v in collect_values(dag, machine) if v.reg_class == reg_class
     ]
@@ -150,10 +152,11 @@ def measure_registers(
     order = can_reuse_registers(dag, values, kill.kill)
     element_node = {v.name: v.def_uid for v in values}
 
-    def priority(a: str, b: str) -> int:
-        return analysis.edge_priority(element_node[a], element_node[b])
-
-    decomposition = minimum_chain_decomposition(order, priority=priority)
+    # A value's nesting level is its defining node's; the hammock priority
+    # abs(level(a) - level(b)) then matches the legacy per-pair callback.
+    node_levels = analysis.nesting_levels()
+    value_levels = {name: node_levels[uid] for name, uid in element_node.items()}
+    decomposition = minimum_chain_decomposition(order, levels=value_levels)
     obs.count("measure.reg_requirements")
     obs.peak("measure.reg_width_peak", decomposition.width)
     return ResourceRequirement(
@@ -196,7 +199,7 @@ def measure_all(
     """Measure every FU class and register class of the machine."""
     with obs.span("measure.all", nodes=len(dag)):
         obs.count("measure.calls")
-        analysis = analysis or HammockAnalysis(dag)
+        analysis = analysis or HammockAnalysis.of(dag)
         results = [
             measure_fu(dag, machine, fu.name, analysis)
             for fu in machine.fu_classes
@@ -344,7 +347,7 @@ def find_excessive_sets(
     """
     if not requirement.is_excessive:
         return []
-    analysis = analysis or HammockAnalysis(dag)
+    analysis = analysis or HammockAnalysis.of(dag)
     element_node = requirement.element_node
     results: List[ExcessiveChainSet] = []
 

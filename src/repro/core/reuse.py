@@ -16,6 +16,14 @@ requirement over *all* legal schedules — but the relation differs:
 Register elements are *values* rather than nodes: this generalizes the
 paper's one-value-per-node model to traces with live-in values (defined
 by the virtual ENTRY node) without changing the mathematics.
+
+The orders are built directly in bitmask form: one reverse-topological
+sweep (:func:`_element_reach`) computes, per DAG node, the *element
+bitmask* reachable below it, so each relation costs O(E) big-int ORs
+instead of one descendant-set expansion per element.  The original
+per-element loops survive as ``*_reference`` (and behind the ``legacy``
+engine of :mod:`repro.graph.bitset`) for the property fuzz and the
+benchmark baseline; both constructions produce the identical relation.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
+from repro.graph import bitset
 from repro.graph.dag import DependenceDAG
 from repro.graph.dilworth import PartialOrder
 from repro.ir.opcodes import Opcode
@@ -52,30 +61,81 @@ def collect_values(
     Values are classified into register classes via the machine model
     (default: everything in ``"gpr"``).
     """
+    cached = getattr(dag, "_values_cache", None)
+    if (
+        cached is not None
+        and cached[0] == dag.version
+        and cached[1] is machine
+    ):
+        return list(cached[2])
     classify = machine.reg_class_of if machine is not None else (lambda name: "gpr")
     values: List[ValueInfo] = []
     for name, def_uid in sorted(dag.value_defs.items()):
         uses = tuple(sorted(set(dag.value_uses.get(name, ())) - {def_uid}))
         values.append(ValueInfo(name, def_uid, uses, classify(name)))
-    return values
+    # ValueInfo is frozen and the enumeration is a pure function of the
+    # DAG's def/use tables, so a version-keyed cache (invalidated by any
+    # graph edit, like the topo/hammock caches) is safe; callers get a
+    # fresh list so they may filter/extend freely.
+    dag._values_cache = (dag.version, machine, values)
+    return list(values)
 
 
 def fu_elements(dag: DependenceDAG, machine: MachineModel, fu_class: str) -> List[int]:
     """Op nodes that execute on ``fu_class`` under ``machine``."""
+    node_attr = dag.graph.nodes
+    fu_class_for = machine.fu_class_for
     result = []
     for uid in dag.op_nodes():
-        inst = dag.instruction(uid)
-        if machine.fu_class_for(inst.op).name == fu_class:
+        if fu_class_for(node_attr[uid]["inst"].op).name == fu_class:
             result.append(uid)
     return result
 
 
+def _element_reach(
+    dag: DependenceDAG, seed_bits: Mapping[int, int]
+) -> Dict[int, int]:
+    """Per DAG node, the OR of ``seed_bits`` over its *proper*
+    descendants — the element-space reachability mask.
+
+    One reverse-topological sweep over the DAG edges; ``seed_bits``
+    attaches element bits (in whatever element universe the caller is
+    building) to the nodes that carry them.
+    """
+    succ_of = dag.graph.succ
+    get_seed = seed_bits.get
+    down: Dict[int, int] = {}
+    # carry[v] = down[v] | seed(v), folded once per node, not per edge.
+    carry: Dict[int, int] = {}
+    for uid in reversed(dag.topological_order()):
+        mask = 0
+        for succ in succ_of[uid]:
+            mask |= carry[succ]
+        down[uid] = mask
+        carry[uid] = mask | get_seed(uid, 0)
+    return down
+
+
+# ======================================================================
+# CanReuse_FU.
+# ======================================================================
 def can_reuse_fu(dag: DependenceDAG, elements: List[int]) -> PartialOrder:
     """``CanReuse_FU`` restricted to ``elements``: DAG reachability.
 
     Reachability may pass through nodes outside ``elements`` (a multiply
     can reuse a unit freed by an op reached through ALU work).
     """
+    if bitset.active_engine() == "legacy":
+        return can_reuse_fu_reference(dag, elements)
+    seed_bits = {uid: 1 << i for i, uid in enumerate(elements)}
+    down = _element_reach(dag, seed_bits)
+    return PartialOrder.from_masks(elements, [down[a] for a in elements])
+
+
+def can_reuse_fu_reference(
+    dag: DependenceDAG, elements: List[int]
+) -> PartialOrder:
+    """The original per-element construction (fuzz/benchmark reference)."""
     element_set = set(elements)
     pairs = []
     for a in elements:
@@ -85,6 +145,9 @@ def can_reuse_fu(dag: DependenceDAG, elements: List[int]) -> PartialOrder:
     return PartialOrder.from_pairs(elements, pairs)
 
 
+# ======================================================================
+# CanReuse_Reg (sound over-approximation).
+# ======================================================================
 def can_reuse_registers_sound(
     dag: DependenceDAG,
     values: List[ValueInfo],
@@ -99,9 +162,43 @@ def can_reuse_registers_sound(
     width can fall below the true worst case (Theorem 2), which is the
     leakage the assignment phase must absorb.
     """
+    if bitset.active_engine() == "legacy":
+        return can_reuse_registers_sound_reference(dag, values)
+    names = [v.name for v in values]
+    def_bits_at: Dict[int, int] = {}
+    for i, v in enumerate(values):
+        def_bits_at[v.def_uid] = def_bits_at.get(v.def_uid, 0) | (1 << i)
+    down = _element_reach(dag, def_bits_at)
+    desc, node_index, _ = dag.closure_masks()
+
+    masks: List[int] = []
+    for i, u in enumerate(values):
+        uses = u.use_uids
+        if not uses:
+            # Dead value: free as soon as it is written.
+            masks.append(down[u.def_uid] & ~(1 << i))
+            continue
+        use_mask = bitset.mask_of(node_index[m] for m in uses)
+        # A use that reaches another use never executes last.
+        maximal = [m for m in uses if not (desc[m] & use_mask)]
+        if dag.exit in maximal:
+            masks.append(0)  # live-out: never reusable
+            continue
+        mask = -1
+        for m in maximal:
+            # w's def at m itself also counts ("m == dw").
+            mask &= down[m] | def_bits_at.get(m, 0)
+        masks.append(mask & ~(1 << i))
+    return PartialOrder.from_masks(names, masks)
+
+
+def can_reuse_registers_sound_reference(
+    dag: DependenceDAG,
+    values: List[ValueInfo],
+) -> PartialOrder:
+    """The original per-value construction (fuzz/benchmark reference)."""
     names = [v.name for v in values]
     def_of = {v.name: v.def_uid for v in values}
-    use_map = {v.name: v.use_uids for v in values}
     pairs: List[Tuple[str, str]] = []
     for u in values:
         uses = list(u.use_uids)
@@ -128,6 +225,9 @@ def can_reuse_registers_sound(
     return PartialOrder.from_pairs(names, pairs)
 
 
+# ======================================================================
+# CanReuse_Reg under a Kill() assignment.
+# ======================================================================
 def can_reuse_registers(
     dag: DependenceDAG,
     values: List[ValueInfo],
@@ -139,14 +239,40 @@ def can_reuse_registers(
     or a descendant of it: in no legal schedule can ``w`` be computed
     while ``u``'s register is still needed.
     """
+    if bitset.active_engine() == "legacy":
+        return can_reuse_registers_reference(dag, values, kill)
+    names = [v.name for v in values]
+    def_bits_at: Dict[int, int] = {}
+    for i, v in enumerate(values):
+        def_bits_at[v.def_uid] = def_bits_at.get(v.def_uid, 0) | (1 << i)
+    down = _element_reach(dag, def_bits_at)
+
+    masks: List[int] = []
+    for i, u in enumerate(values):
+        killer = kill[u.name]
+        if killer == u.def_uid:
+            # Dead value: its register is free the moment it is written;
+            # any proper descendant of the definition can reuse it.
+            mask = down[u.def_uid]
+        else:
+            # Defs at the killer itself ("dw == killer") or below it.
+            mask = down[killer] | def_bits_at.get(killer, 0)
+        masks.append(mask & ~(1 << i))
+    return PartialOrder.from_masks(names, masks)
+
+
+def can_reuse_registers_reference(
+    dag: DependenceDAG,
+    values: List[ValueInfo],
+    kill: Mapping[str, int],
+) -> PartialOrder:
+    """The original per-value construction (fuzz/benchmark reference)."""
     names = [v.name for v in values]
     def_of = {v.name: v.def_uid for v in values}
     pairs: List[Tuple[str, str]] = []
     for u in values:
         killer = kill[u.name]
         if killer == u.def_uid:
-            # Dead value: its register is free the moment it is written;
-            # any proper descendant of the definition can reuse it.
             reachable = dag.descendants(u.def_uid)
             for w in values:
                 if w.name != u.name and def_of[w.name] in reachable:

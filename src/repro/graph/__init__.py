@@ -1,5 +1,7 @@
 """Graph substrate: dependence DAGs, hammocks, matching, Dilworth."""
 
+from repro.graph import bitset
+from repro.graph.bitset import BitsetKuhn, hopcroft_karp_masks, koenig_cover_masks
 from repro.graph.dag import CycleError, DependenceDAG, EdgeKind
 from repro.graph.dilworth import (
     ChainDecomposition,
@@ -19,6 +21,7 @@ from repro.graph.matching import (
 )
 
 __all__ = [
+    "BitsetKuhn",
     "ChainDecomposition",
     "CycleError",
     "DependenceDAG",
@@ -28,8 +31,11 @@ __all__ = [
     "PartialOrder",
     "PartialOrderError",
     "PrioritizedMatcher",
+    "bitset",
     "closure_from_dag_pairs",
     "hopcroft_karp",
+    "hopcroft_karp_masks",
+    "koenig_cover_masks",
     "maximum_antichain",
     "maximum_matching",
     "minimum_chain_decomposition",

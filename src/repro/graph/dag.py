@@ -179,6 +179,12 @@ class DependenceDAG:
         self._desc_cache: Optional[Dict[int, int]] = None
         self._mask_index: Optional[Dict[int, int]] = None
         self._mask_order: Optional[List[int]] = None
+        self._topo_cache: Optional[List[int]] = None
+        self._topo_version: int = -1
+        self._asap_cache: Optional[Dict[int, int]] = None
+        self._asap_version: int = -1
+        #: (version, HammockAnalysis) — populated by HammockAnalysis.of.
+        self._hammock_analysis = None
 
     # ==================================================================
     # Construction.
@@ -364,7 +370,22 @@ class DependenceDAG:
         return list(self.graph.successors(uid))
 
     def topological_order(self) -> List[int]:
-        """A deterministic topological order (by uid among ready nodes)."""
+        """A deterministic topological order (by uid among ready nodes).
+
+        Cached per ``version``: measurement makes several O(E) sweeps
+        (closure, reuse DPs, ASAP, hammocks) that all start here.  The
+        version key keeps the cache safe inside transactions — every
+        ``add_sequence_edge`` bumps the version, and a new edge can
+        invalidate an existing order even without changing reachability.
+        """
+        if self._topo_cache is not None and self._topo_version == self.version:
+            return list(self._topo_cache)
+        order = self._topological_order_uncached()
+        self._topo_cache = order
+        self._topo_version = self.version
+        return list(order)
+
+    def _topological_order_uncached(self) -> List[int]:
         indegree = {u: self.graph.in_degree(u) for u in self.graph.nodes}
         ready = sorted(u for u, d in indegree.items() if d == 0)
         order: List[int] = []
@@ -399,6 +420,28 @@ class DependenceDAG:
             self._mask_index = index
             self._mask_order = order
         return self._desc_cache
+
+    def closure_masks(self) -> Tuple[Dict[int, int], Dict[int, int], List[int]]:
+        """The cached transitive closure as packed bitmasks, plus the
+        shared uid<->bit index table.
+
+        Returns ``(desc, index, order)``: ``desc[uid]`` is the bitmask of
+        ``uid``'s proper descendants, ``index[uid]`` the bit position of
+        ``uid``, and ``order[bit]`` the inverse table (uids in topological
+        order).  This is the *one* uid<->bit table the bitset measurement
+        kernels share (``graph.bitset``, ``core.reuse``, ``core.kill``):
+        masks produced against it compose with ``desc`` directly.
+
+        The table is stable for a given ``version``; mutations outside a
+        transaction rebuild it (possibly with a different bit layout), so
+        callers must not cache index-space masks across versions.  Inside
+        a :class:`DagTransaction` the masks are maintained in place and
+        ``rollback`` restores them exactly — the table survives a trial
+        unchanged.
+        """
+        desc = self._closure()
+        assert self._mask_index is not None and self._mask_order is not None
+        return desc, self._mask_index, self._mask_order
 
     def reaches(self, a: int, b: int) -> bool:
         """True when there is a (non-empty) path from ``a`` to ``b``."""
@@ -486,13 +529,27 @@ class DependenceDAG:
         self, latency: Optional[Callable[[Instruction], int]] = None
     ) -> Dict[int, int]:
         """Earliest start cycle per node along longest paths from ENTRY."""
+        if latency is None and self._asap_version == self.version:
+            return dict(self._asap_cache)  # type: ignore[arg-type]
         lat = latency or (lambda inst: 0 if inst.is_pseudo else 1)
+        order = self.topological_order()
+        # One latency lookup per node (not per edge), then a plain dict DP.
+        pred_of = self.graph.pred
+        node_attr = self.graph.nodes
+        ready: Dict[int, int] = {}
         start: Dict[int, int] = {}
-        for uid in self.topological_order():
+        for uid in order:
             best = 0
-            for pred in self.graph.predecessors(uid):
-                best = max(best, start[pred] + lat(self.instruction(pred)))
+            for pred in pred_of[uid]:
+                r = ready[pred]
+                if r > best:
+                    best = r
             start[uid] = best
+            ready[uid] = best + lat(node_attr[uid]["inst"])
+        if latency is None:
+            self._asap_cache = start
+            self._asap_version = self.version
+            return dict(start)
         return start
 
     def alap(
@@ -753,6 +810,11 @@ class DependenceDAG:
         clone._desc_cache = None
         clone._mask_index = None
         clone._mask_order = None
+        clone._topo_cache = None
+        clone._topo_version = -1
+        clone._asap_cache = None
+        clone._asap_version = -1
+        clone._hammock_analysis = None
         return clone
 
     def check_invariants(self) -> None:

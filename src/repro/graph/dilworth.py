@@ -5,6 +5,18 @@ independent elements of a partial order equals the number of chains in a
 minimum chain decomposition.  URSA measures worst-case resource
 requirements by decomposing the *reuse* partial order of each resource
 into a minimum set of allocation chains via bipartite matching [FoF65].
+
+The relation itself is stored as packed int bitmasks — one bit per
+element, positions given by :attr:`PartialOrder.index` — and the default
+matchers run directly on those masks (:mod:`repro.graph.bitset`):
+Hopcroft–Karp for plain decompositions, antichains, and width; the
+priority-batched Kuhn replica wherever the paper's hammock-priority
+insertion order is load-bearing.  The dict-of-sets view (``above``) is
+materialized lazily for callers that still want it, and the original
+dict-based engine survives behind ``engine="legacy"`` /
+:func:`repro.graph.bitset.engine` as the reference the property fuzz and
+the checked-in benchmark baseline compare against.  Both engines produce
+bit-identical decompositions, antichains, and widths.
 """
 
 from __future__ import annotations
@@ -17,6 +29,7 @@ from typing import (
     Hashable,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
@@ -24,6 +37,7 @@ from typing import (
 )
 
 from repro import obs
+from repro.graph import bitset
 from repro.graph.matching import (
     PrioritizedMatcher,
     hopcroft_karp,
@@ -38,36 +52,97 @@ class PartialOrderError(Exception):
     """Raised when a relation is not a valid strict partial order."""
 
 
-@dataclass
 class PartialOrder:
-    """A strict partial order: ``pairs`` holds every related pair (a, b)
-    with a < b (the relation must already be transitively closed).
+    """A strict partial order, stored as per-element successor bitmasks
+    (the relation must already be transitively closed).
 
-    For URSA, ``(a, b)`` means "b can reuse a's resource instance".
+    For URSA, ``a < b`` means "b can reuse a's resource instance".  Bit
+    positions are element indices (``index``); ``masks[i]`` is the set of
+    elements above ``elements[i]``.  The dict-of-frozensets view
+    (``above``) is derived lazily and cached.
     """
 
-    elements: List[Element]
-    #: a -> set of b with (a, b) in the relation.
-    above: Dict[Element, FrozenSet[Element]]
+    __slots__ = ("elements", "_index", "_masks", "_above")
+
+    def __init__(
+        self,
+        elements: Iterable[Element],
+        above: Optional[Mapping[Element, Iterable[Element]]] = None,
+        *,
+        masks: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.elements: List[Element] = list(elements)
+        self._index: Dict[Element, int] = {
+            e: i for i, e in enumerate(self.elements)
+        }
+        self._above: Optional[Dict[Element, FrozenSet[Element]]] = None
+        if masks is not None:
+            if above is not None:
+                raise ValueError("pass either above or masks, not both")
+            self._masks: List[int] = list(masks)
+            if len(self._masks) != len(self.elements):
+                raise PartialOrderError("one mask per element required")
+        else:
+            index = self._index
+            mask_list = [0] * len(self.elements)
+            for a, bs in (above or {}).items():
+                bits = 0
+                for b in bs:
+                    bits |= 1 << index[b]
+                mask_list[index[a]] = bits
+            self._masks = mask_list
 
     @classmethod
     def from_pairs(
         cls, elements: Iterable[Element], pairs: Iterable[Tuple[Element, Element]]
     ) -> "PartialOrder":
         element_list = list(elements)
-        element_set = set(element_list)
-        above: Dict[Element, Set[Element]] = {e: set() for e in element_list}
+        index = {e: i for i, e in enumerate(element_list)}
+        masks = [0] * len(element_list)
         for a, b in pairs:
-            if a not in element_set or b not in element_set:
+            ia = index.get(a)
+            ib = index.get(b)
+            if ia is None or ib is None:
                 raise PartialOrderError(f"pair ({a!r}, {b!r}) uses unknown element")
             if a == b:
                 raise PartialOrderError(f"reflexive pair on {a!r}")
-            above[a].add(b)
-        return cls(element_list, {e: frozenset(s) for e, s in above.items()})
+            masks[ia] |= 1 << ib
+        return cls(element_list, masks=masks)
+
+    @classmethod
+    def from_masks(
+        cls, elements: Iterable[Element], masks: Sequence[int]
+    ) -> "PartialOrder":
+        """Adopt ready-made successor bitmasks (bit ``j`` of ``masks[i]``
+        set iff ``elements[i] < elements[j]``) without copying through a
+        dict — the fast constructor the reuse analyses use."""
+        return cls(elements, masks=masks)
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> Dict[Element, int]:
+        """element -> bit position (shared with ``masks``)."""
+        return self._index
+
+    @property
+    def masks(self) -> List[int]:
+        """Successor bitmask per element index.  Treat as read-only."""
+        return self._masks
+
+    @property
+    def above(self) -> Dict[Element, FrozenSet[Element]]:
+        """a -> frozenset of b with (a, b) in the relation (lazy view)."""
+        if self._above is None:
+            elements = self.elements
+            self._above = {
+                a: frozenset(elements[j] for j in bitset.iter_bits(mask))
+                for a, mask in zip(elements, self._masks)
+            }
+        return self._above
 
     # ------------------------------------------------------------------
     def less(self, a: Element, b: Element) -> bool:
-        return b in self.above[a]
+        return bool(self._masks[self._index[a]] >> self._index[b] & 1)
 
     def independent(self, a: Element, b: Element) -> bool:
         return a != b and not self.less(a, b) and not self.less(b, a)
@@ -75,18 +150,19 @@ class PartialOrder:
     def pairs(self) -> List[Tuple[Element, Element]]:
         """All related pairs, in a deterministic order.
 
-        ``above`` values are sets; iterating them raw leaks the hash
-        order of the elements (for int uids: their absolute values) into
-        the matching and hence into the chain decomposition, making
-        logically identical runs diverge.  Sorting keeps the enumeration
-        invariant under uniform uid shifts.
+        Enumerating masks bit by bit yields, per left element, its
+        successors in ascending element-index order — the enumeration is
+        invariant under uniform uid shifts (raw set iteration would leak
+        hash order into the matching and hence into the decomposition).
         """
-        index = {e: i for i, e in enumerate(self.elements)}
-        return [
-            (a, b)
-            for a in self.elements
-            for b in sorted(self.above[a], key=index.__getitem__)
-        ]
+        elements = self.elements
+        result: List[Tuple[Element, Element]] = []
+        for a, mask in zip(elements, self._masks):
+            while mask:
+                low = mask & -mask
+                result.append((a, elements[low.bit_length() - 1]))
+                mask ^= low
+        return result
 
     def __len__(self) -> int:
         return len(self.elements)
@@ -94,16 +170,27 @@ class PartialOrder:
     # ------------------------------------------------------------------
     def validate(self) -> None:
         """Check irreflexivity, antisymmetry, and transitivity."""
-        for a, bs in self.above.items():
-            if a in bs:
+        masks = self._masks
+        elements = self.elements
+        for i, a in enumerate(elements):
+            mask = masks[i]
+            if mask >> i & 1:
                 raise PartialOrderError(f"reflexive: {a!r}")
-            for b in bs:
-                if a in self.above[b]:
+            rest = mask
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                j = low.bit_length() - 1
+                b = elements[j]
+                if masks[j] >> i & 1:
                     raise PartialOrderError(f"symmetric pair {a!r}, {b!r}")
-                missing = self.above[b] - bs
+                missing = masks[j] & ~mask
                 if missing:
+                    witnesses = sorted(
+                        repr(elements[k]) for k in bitset.iter_bits(missing)
+                    )
                     raise PartialOrderError(
-                        f"not transitive: {a!r} < {b!r} < {sorted(map(repr, missing))[0]}"
+                        f"not transitive: {a!r} < {b!r} < {witnesses[0]}"
                     )
 
     def is_chain(self, members: Sequence[Element]) -> bool:
@@ -118,9 +205,14 @@ class PartialOrder:
     def sort_chain(self, members: Iterable[Element]) -> List[Element]:
         """Return chain members in increasing order."""
         members = list(members)
-        return sorted(
-            members, key=lambda e: sum(1 for other in members if self.less(other, e))
-        )
+        masks = self._masks
+        index = self._index
+        member_bits = [index[e] for e in members]
+        ranks = {
+            e: sum(1 for m in member_bits if masks[m] >> index[e] & 1)
+            for e in members
+        }
+        return sorted(members, key=ranks.__getitem__)
 
 
 @dataclass
@@ -174,6 +266,8 @@ class ChainDecomposition:
 def minimum_chain_decomposition(
     order: PartialOrder,
     priority: Optional[Callable[[Element, Element], int]] = None,
+    levels: Optional[Mapping[Element, int]] = None,
+    engine: Optional[str] = None,
 ) -> ChainDecomposition:
     """Minimum chain decomposition via maximum bipartite matching [FoF65].
 
@@ -183,19 +277,21 @@ def minimum_chain_decomposition(
 
     ``priority(a, b)`` (smaller = earlier batch) enables the paper's
     hammock-aware insertion order, which makes the decomposition minimal
-    for nested hammocks as well as the whole DAG.
+    for nested hammocks as well as the whole DAG.  ``levels`` is the fast
+    spelling of the same scheme for the standard priority
+    ``abs(level(a) - level(b))`` (hammock nesting depth): batches are
+    formed by mask intersection instead of one callback per pair.  Both
+    engines (``"bitset"``, the default, and ``"legacy"``) produce the
+    identical decomposition — the bitset Kuhn replica enumerates
+    neighbours in exactly the order ``PrioritizedMatcher`` does.
     """
-    pairs = order.pairs()
-    if priority is None:
-        match = maximum_matching(pairs)
+    if priority is not None and levels is not None:
+        raise ValueError("pass either priority or levels, not both")
+    selected = engine or bitset.active_engine()
+    if selected == "legacy":
+        match = _legacy_match(order, priority, levels)
     else:
-        matcher = PrioritizedMatcher()
-        batches: Dict[int, List[Tuple[Element, Element]]] = {}
-        for a, b in pairs:
-            batches.setdefault(priority(a, b), []).append((a, b))
-        for key in sorted(batches):
-            matcher.add_edges(batches[key])
-        match = dict(matcher.match_left)
+        match = _bitset_match(order, priority, levels)
 
     has_predecessor: Set[Element] = set(match.values())
     chains: List[List[Element]] = []
@@ -211,28 +307,149 @@ def minimum_chain_decomposition(
     return ChainDecomposition(order, chains, successor=dict(match))
 
 
-def maximum_antichain(order: PartialOrder) -> Set[Element]:
-    """An antichain of maximum size, via König's theorem.
-
-    By Dilworth, its size equals the width returned by
-    :func:`minimum_chain_decomposition`.
-    """
+def _legacy_match(
+    order: PartialOrder,
+    priority: Optional[Callable[[Element, Element], int]],
+    levels: Optional[Mapping[Element, int]],
+) -> Dict[Element, Element]:
+    """The original dict-of-sets matching path (reference engine)."""
+    if priority is None and levels is not None:
+        priority = lambda a, b: abs(levels[a] - levels[b])  # noqa: E731
     pairs = order.pairs()
-    matching = hopcroft_karp(order.elements, pairs)
-    cover_left, cover_right = minimum_vertex_cover(
-        order.elements, order.elements, pairs, matching
-    )
+    if priority is None:
+        return maximum_matching(pairs)
+    matcher = PrioritizedMatcher()
+    batches: Dict[int, List[Tuple[Element, Element]]] = {}
+    for a, b in pairs:
+        batches.setdefault(priority(a, b), []).append((a, b))
+    for key in sorted(batches):
+        matcher.add_edges(batches[key])
+    return dict(matcher.match_left)
+
+
+def _bitset_match(
+    order: PartialOrder,
+    priority: Optional[Callable[[Element, Element], int]],
+    levels: Optional[Mapping[Element, int]],
+) -> Dict[Element, Element]:
+    """Mask-native matching: Hopcroft–Karp when unprioritized, the
+    batched Kuhn replica (identical matching to ``PrioritizedMatcher``)
+    otherwise."""
+    n = len(order.elements)
+    elements = order.elements
+    masks = order.masks
+    if priority is None and levels is None:
+        match_left, _ = bitset.hopcroft_karp_masks(n, n, masks)
+        return {
+            elements[i]: elements[j]
+            for i, j in enumerate(match_left)
+            if j >= 0
+        }
+
+    matcher = bitset.BitsetKuhn(n)
+    if levels is not None:
+        # Standard hammock priority abs(level(a) - level(b)): batch p
+        # selects, per left, the successors whose level differs by
+        # exactly p — two dict lookups and one AND per left per batch.
+        level_of = [levels[e] for e in elements]
+        buckets: Dict[int, int] = {}
+        for i, lvl in enumerate(level_of):
+            buckets[lvl] = buckets.get(lvl, 0) | (1 << i)
+        if buckets:
+            span = max(buckets) - min(buckets)
+            # Lefts with successor bits not yet emitted, ascending (the
+            # batch row order the Kuhn replica relies on); each batch
+            # subtracts what it emitted so exhausted lefts drop out.
+            pending = [(i, masks[i]) for i in range(n) if masks[i]]
+            for p in range(span + 1):
+                # selector depends only on the left's level: resolve the
+                # two bucket lookups once per level, not once per left.
+                if p == 0:
+                    selector_at = dict(buckets)
+                else:
+                    selector_at = {
+                        lvl: buckets.get(lvl - p, 0) | buckets.get(lvl + p, 0)
+                        for lvl in buckets
+                    }
+                rows: List[Tuple[int, int]] = []
+                remaining: List[Tuple[int, int]] = []
+                for i, mask in pending:
+                    row = mask & selector_at[level_of[i]]
+                    if row:
+                        rows.append((i, row))
+                        mask &= ~row
+                        if not mask:
+                            continue
+                    remaining.append((i, mask))
+                pending = remaining
+                if rows:
+                    matcher.add_batch(rows)
+                if not pending:
+                    break
+    else:
+        # Arbitrary callable: batch in pairs() order, exactly as the
+        # legacy path does (the callable sees the same call sequence).
+        index = order.index
+        batches: Dict[int, Dict[int, int]] = {}
+        for a, b in order.pairs():
+            rows_by_left = batches.setdefault(priority(a, b), {})
+            ia = index[a]
+            rows_by_left[ia] = rows_by_left.get(ia, 0) | (1 << index[b])
+        for key in sorted(batches):
+            matcher.add_batch(batches[key].items())
     return {
-        element
-        for element in order.elements
-        if element not in cover_left and element not in cover_right
+        elements[i]: elements[j]
+        for i, j in enumerate(matcher.match_left)
+        if j >= 0
     }
 
 
-def width(order: PartialOrder) -> int:
+def maximum_antichain(
+    order: PartialOrder, engine: Optional[str] = None
+) -> Set[Element]:
+    """An antichain of maximum size, via König's theorem.
+
+    By Dilworth, its size equals the width returned by
+    :func:`minimum_chain_decomposition`.  Both engines yield the *same*
+    antichain, not merely one of the same size — the allocator's
+    fallback candidates are built from its members.
+    """
+    selected = engine or bitset.active_engine()
+    if selected == "legacy":
+        pairs = order.pairs()
+        matching = hopcroft_karp(order.elements, pairs)
+        cover_left, cover_right = minimum_vertex_cover(
+            order.elements, order.elements, pairs, matching
+        )
+        return {
+            element
+            for element in order.elements
+            if element not in cover_left and element not in cover_right
+        }
+    n = len(order.elements)
+    masks = order.masks
+    match_left, match_right = bitset.hopcroft_karp_masks(n, n, masks)
+    visited_left, visited_right = bitset.koenig_cover_masks(
+        n, masks, match_left, match_right
+    )
+    return {
+        element
+        for i, element in enumerate(order.elements)
+        # In the cover: matched-and-unvisited lefts, visited rights.
+        if not (match_left[i] >= 0 and not (visited_left >> i) & 1)
+        and not (visited_right >> i & 1)
+    }
+
+
+def width(order: PartialOrder, engine: Optional[str] = None) -> int:
     """The width (maximum antichain size) of the partial order."""
-    matching = hopcroft_karp(order.elements, order.pairs())
-    return len(order.elements) - len(matching)
+    selected = engine or bitset.active_engine()
+    if selected == "legacy":
+        matching = hopcroft_karp(order.elements, order.pairs())
+        return len(order.elements) - len(matching)
+    n = len(order.elements)
+    match_left, _ = bitset.hopcroft_karp_masks(n, n, order.masks)
+    return n - (n - match_left.count(-1))
 
 
 def transitive_reduction(order: PartialOrder) -> List[Tuple[Element, Element]]:
@@ -242,11 +459,20 @@ def transitive_reduction(order: PartialOrder) -> List[Tuple[Element, Element]]:
     removes transitive edges from the Reuse DAG for presentation and for
     the head/tail trimming; the matching itself uses all pairs.
     """
+    masks = order.masks
+    elements = order.elements
     covers: List[Tuple[Element, Element]] = []
-    for a, greater in order.above.items():
-        for b in greater:
-            if not any(b in order.above[c] for c in greater if c != b):
-                covers.append((a, b))
+    for i, a in enumerate(elements):
+        greater = masks[i]
+        if not greater:
+            continue
+        # b is covered iff some c in greater has b above it; irreflexivity
+        # makes including b itself in the union harmless.
+        indirect = 0
+        for j in bitset.iter_bits(greater):
+            indirect |= masks[j]
+        for j in bitset.iter_bits(greater & ~indirect):
+            covers.append((a, elements[j]))
     return covers
 
 
@@ -284,14 +510,4 @@ def closure_from_dag_pairs(
         for j in adjacency[i]:
             mask |= succ_masks[j] | (1 << j)
         succ_masks[i] = mask
-
-    above: Dict[Element, FrozenSet[Element]] = {}
-    for i, element in enumerate(element_list):
-        mask = succ_masks[i]
-        greater: Set[Element] = set()
-        while mask:
-            low = mask & -mask
-            greater.add(element_list[low.bit_length() - 1])
-            mask ^= low
-        above[element] = frozenset(greater)
-    return PartialOrder(element_list, above)
+    return PartialOrder.from_masks(element_list, succ_masks)

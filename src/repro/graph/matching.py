@@ -54,31 +54,57 @@ class PrioritizedMatcher:
         self.match_left: Dict[Node, Node] = {}
         #: right -> left matches.
         self.match_right: Dict[Node, Node] = {}
+        #: still-unmatched lefts in first-appearance order (augmentation
+        #: never unmatches, so a matched left never needs another pass).
+        self._pending: Dict[Node, None] = {}
+        self._seen: Set[Node] = set()
 
     def add_edges(self, edges: Iterable[Edge]) -> int:
         """Add a batch of edges and re-maximize; returns augment count."""
-        touched: Set[Node] = set()
         for left, right in edges:
             self.adjacency.setdefault(left, []).append(right)
-            touched.add(left)
+            if left not in self._seen:
+                self._seen.add(left)
+                if left not in self.match_left:
+                    self._pending[left] = None
         return self.maximize()
 
     def maximize(self) -> int:
-        """Augment until maximum over all edges added so far.
+        """Augment from the still-unmatched lefts (every one of them:
+        any new edge can open an alternating path to any unmatched left,
+        but matched lefts can never gain, so they are skipped outright
+        instead of rescanned per batch).
 
         Under an expired deadline the loop stops early and the current
         (possibly non-maximum) matching stands — see
         :func:`_matching_degraded` for why that is safe.
         """
+        if len(self.adjacency) != len(self._seen):
+            # Adjacency was seeded directly (warm-start callers bypass
+            # add_edges); adopt the unseen lefts in insertion order.
+            for left in self.adjacency:
+                if left not in self._seen:
+                    self._seen.add(left)
+                    if left not in self.match_left:
+                        self._pending[left] = None
         gained = 0
         deadline = budgets.active_deadline()
-        for left in list(self.adjacency):
-            if deadline is not None and deadline.tick():
-                _matching_degraded("matching.maximize")
-                break
-            if left not in self.match_left:
-                if self._augment(left, set()):
-                    gained += 1
+        degraded = False
+        still: Dict[Node, None] = {}
+        for left in self._pending:
+            if left in self.match_left:
+                continue
+            if degraded or (deadline is not None and deadline.tick()):
+                if not degraded:
+                    _matching_degraded("matching.maximize")
+                    degraded = True
+                still[left] = None
+                continue
+            if self._augment(left, set()):
+                gained += 1
+            else:
+                still[left] = None
+        self._pending = still
         obs.count("matching.augmenting_paths", gained)
         return gained
 
@@ -155,8 +181,18 @@ def hopcroft_karp(
     maximality and by callers that do not need priorities.
     """
     adjacency: Dict[Node, List[Node]] = {u: [] for u in left_nodes}
+    # Deduplicate while preserving first-occurrence order: repeated
+    # pairs (common when reuse relations are re-derived per class) would
+    # otherwise inflate every BFS/DFS sweep.
+    seen_rights: Dict[Node, Set[Node]] = {u: set() for u in adjacency}
     for u, v in edges:
-        adjacency.setdefault(u, []).append(v)
+        bucket = seen_rights.get(u)
+        if bucket is None:
+            bucket = seen_rights[u] = set()
+            adjacency[u] = []
+        if v not in bucket:
+            bucket.add(v)
+            adjacency[u].append(v)
 
     INF = float("inf")
     match_left: Dict[Node, Optional[Node]] = {u: None for u in adjacency}

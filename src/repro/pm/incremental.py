@@ -39,13 +39,14 @@ from repro.core.kill import candidate_killers, select_kill
 from repro.core.measure import ResourceKind, ResourceRequirement
 from repro.core.reuse import can_reuse_registers
 from repro.core.transforms.base import TransformCandidate, TransformError
+from repro.graph import bitset
 from repro.graph.dag import (
     CycleError,
     DagTransaction,
     DependenceDAG,
     TransactionError,
 )
-from repro.graph.matching import PrioritizedMatcher, maximum_matching
+from repro.graph.dilworth import width as order_width
 from repro.machine.model import MachineModel
 
 
@@ -71,10 +72,13 @@ class _ClassBase:
     req: ResourceRequirement
     elements: List
     element_set: Set
-    #: element -> successors, each list sorted by element index (the
-    #: same deterministic enumeration ``PartialOrder.pairs`` uses).
-    adjacency: Dict
-    successor: Dict
+    #: element -> bit position (the order's own index table).
+    eidx: Dict
+    #: base relation as successor bitmasks, one per element index — a
+    #: *copy* of the order's masks, safe to grow with delta pairs.
+    masks: List[int]
+    #: committed matching as an index array (-1 = chain tail).
+    succ_idx: List[int]
     width: int
     available: int
     # -- registers only -------------------------------------------------
@@ -120,17 +124,16 @@ class IncrementalMeasurer:
     ) -> _ClassBase:
         elements = list(req.order.elements)
         index = {e: i for i, e in enumerate(elements)}
-        adjacency = {
-            a: sorted(req.order.above[a], key=index.__getitem__)
-            for a in elements
-            if req.order.above[a]
-        }
+        succ_idx = [-1] * len(elements)
+        for a, b in req.decomposition.successor.items():
+            succ_idx[index[a]] = index[b]
         base = _ClassBase(
             req=req,
             elements=elements,
             element_set=set(elements),
-            adjacency=adjacency,
-            successor=dict(req.decomposition.successor),
+            eidx=index,
+            masks=list(req.order.masks),
+            succ_idx=succ_idx,
             width=req.required,
             available=req.available,
         )
@@ -231,14 +234,21 @@ class IncrementalMeasurer:
         self, base: _ClassBase, delta_pairs: List[Tuple]
     ) -> int:
         """Width after growing the relation by ``delta_pairs``, by
-        augmenting the base maximum matching (never unmatching)."""
-        matcher = PrioritizedMatcher()
-        for a, succs in base.adjacency.items():
-            matcher.adjacency[a] = list(succs)
+        augmenting the base maximum matching (never unmatching).
+
+        The snapshot's masks are ORed with the journal-delta bits and the
+        committed matching is re-maximized in place — only the lefts the
+        base decomposition left unmatched are augmented from."""
+        eidx = base.eidx
+        adjacency = list(base.masks)
         for a, b in delta_pairs:
-            matcher.adjacency.setdefault(a, []).append(b)
-        matcher.match_left = dict(base.successor)
-        matcher.match_right = {b: a for a, b in base.successor.items()}
+            adjacency[eidx[a]] |= 1 << eidx[b]
+        match_left = list(base.succ_idx)
+        match_right = [-1] * len(match_left)
+        for i, j in enumerate(match_left):
+            if j >= 0:
+                match_right[j] = i
+        matcher = bitset.BitsetKuhn.from_state(adjacency, match_left, match_right)
         matcher.maximize()
         return len(base.elements) - matcher.size
 
@@ -278,8 +288,7 @@ class IncrementalMeasurer:
                 return base.width, "hit"
             return self._warm_width(base, delta_pairs), "warm"
         order = can_reuse_registers(dag, values, kill_new.kill)
-        match = maximum_matching(order.pairs())
-        return len(values) - len(match), "cold"
+        return order_width(order), "cold"
 
     def _asap_sensitive(
         self, dag: DependenceDAG, txn: DagTransaction, base: _ClassBase
