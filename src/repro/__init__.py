@@ -49,6 +49,7 @@ from repro.program_compiler import (
 )
 from repro.resilience import ChaosMonkey, Deadline, DeadlineExpired
 from repro.scheduling import ListScheduler, Schedule
+from repro.serve import CompileCache
 
 __version__ = "1.0.0"
 
@@ -56,6 +57,7 @@ __all__ = [
     "AllocationResult",
     "ChaosMonkey",
     "CompilationResult",
+    "CompileCache",
     "Deadline",
     "DeadlineExpired",
     "DependenceDAG",

@@ -6,10 +6,15 @@ Subcommands:
 * ``compile``  — compile one trace, print the VLIW code and stats;
 * ``verify``   — static invariant/lint report for a trace's compilation;
 * ``compare``  — compare all methods on one trace;
-* ``program``  — compile a whole multi-block program and execute it;
+* ``program``  — compile a whole multi-block program and execute it
+  (``--jobs`` shards traces over a process pool, ``--cache`` reuses
+  the persistent compile cache);
 * ``pipeline`` — unroll-and-allocate sweep for a canonical loop;
 * ``passes``   — list registered passes, analyses, and invalidation
-  contracts (``--kernel`` adds live analysis-cache statistics).
+  contracts (``--kernel`` adds live analysis-cache statistics);
+* ``serve``    — long-lived HTTP compilation service (docs/serving.md);
+* ``cache``    — inspect/garbage-collect/clear the persistent compile
+  cache (``stats`` / ``gc`` / ``clear``).
 
 Traces/programs come from a file path or from ``--kernel <name>``.
 Initial memory cells are passed as ``--mem base[+offset]=value``.
@@ -207,10 +212,20 @@ def cmd_program(args: argparse.Namespace) -> int:
     program = parse_program(Path(args.source).read_text())
     machine = _machine_from_args(args)
     memory = _parse_memory(args.mem)
-    compiled = compile_program(program, machine, method=args.method)
+    cache: object = args.cache_dir if args.cache_dir else bool(args.cache)
+    compiled = compile_program(
+        program, machine, method=args.method,
+        jobs=args.jobs, cache=cache,
+        deadline_ms=args.deadline_ms, resilient=args.resilient,
+    )
     run, ok = verify_compiled_program(compiled, memory)
     print(f"machine: {machine.describe()}   method: {args.method}")
     print(f"traces: {sorted(compiled.traces)}")
+    if args.cache or args.cache_dir:
+        print(
+            f"cache: {compiled.cache_hits} hits, "
+            f"{compiled.cache_misses} misses"
+        )
     print(f"dynamic cycles: {run.cycles}")
     print(f"dispatch path: {' -> '.join(run.trace_path)}")
     print("final user memory:")
@@ -316,6 +331,53 @@ def cmd_passes(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import serve_forever
+
+    cache: object = args.cache_dir if args.cache_dir else not args.no_cache
+    serve_forever(
+        host=args.host,
+        port=args.port,
+        cache=cache,
+        jobs=args.jobs,
+        deadline_ms=args.deadline_ms,
+        max_batch=args.max_batch,
+        quiet=not args.verbose,
+    )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.serve.cache import CompileCache
+
+    cache = CompileCache(args.cache_dir) if args.cache_dir else CompileCache()
+    if args.action == "stats":
+        stats = cache.stats()
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(stats, indent=2))
+        else:
+            print(f"cache root: {stats['root']}")
+            print(f"entries:    {stats['entries']}")
+            print(f"bytes:      {stats['bytes']}")
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None and args.max_age_days is None:
+            raise SystemExit("cache gc needs --max-bytes and/or --max-age-days")
+        outcome = cache.gc(
+            max_bytes=args.max_bytes, max_age_days=args.max_age_days
+        )
+        print(
+            f"gc: removed {outcome['removed']}, "
+            f"remaining {outcome['remaining']}"
+        )
+        return 0
+    removed = cache.clear()
+    print(f"clear: removed {removed} entries from {cache.root}")
+    return 0
+
+
 # ======================================================================
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -394,6 +456,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p, kernels=False)
     p.add_argument("--method", choices=METHODS, default="ursa")
     p.add_argument("--mem", action="append", help="base[+off]=value")
+    p.add_argument(
+        "--jobs", type=int, metavar="N",
+        help="shard traces over N worker processes (default: serial)",
+    )
+    p.add_argument(
+        "--cache", action="store_true",
+        help="reuse the persistent compile cache ($REPRO_CACHE_DIR)",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="use a compile cache rooted at PATH (implies --cache)",
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, metavar="MS",
+        help="per-trace compilation deadline (disables caching)",
+    )
+    p.add_argument(
+        "--resilient", action="store_true",
+        help="per-trace fallback ladder instead of failing outright",
+    )
     p.set_defaults(func=cmd_program)
 
     p = sub.add_parser(
@@ -411,6 +493,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     p.set_defaults(func=cmd_passes)
+
+    p = sub.add_parser(
+        "serve", help="run the HTTP compilation service (docs/serving.md)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8377)
+    p.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="persistent cache root (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent cache"
+    )
+    p.add_argument(
+        "--jobs", type=int, metavar="N",
+        help="worker processes for program requests (default: serial)",
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, metavar="MS",
+        help="default per-trace deadline applied to every request",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=64,
+        help="largest accepted batch request (default 64)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "cache", help="inspect or prune the persistent compile cache"
+    )
+    p.add_argument("action", choices=("stats", "gc", "clear"))
+    p.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="cache root (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p.add_argument(
+        "--max-bytes", type=int, metavar="N",
+        help="gc: shrink the store to at most N bytes (oldest evicted first)",
+    )
+    p.add_argument(
+        "--max-age-days", type=float, metavar="D",
+        help="gc: evict objects older than D days",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable stats")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("pipeline", help="software-pipelining unroll sweep")
     p.add_argument("loop", choices=sorted(LOOPS))

@@ -18,6 +18,33 @@ from repro.ir.instructions import Instruction
 from repro.ir.opcodes import Opcode, default_fu_class
 
 
+def default_reg_class(value: str) -> str:
+    """The default classifier: every value lives in ``"gpr"``.
+
+    A named module-level function (not a lambda) so machine models —
+    and the compiled artifacts that embed them — survive pickling,
+    which the ``repro.serve`` worker pool and persistent compile cache
+    both rely on.
+    """
+    return "gpr"
+
+
+@dataclass(frozen=True)
+class PrefixRegClassifier:
+    """Classify values into two register classes by name prefix.
+
+    Picklable and content-addressable (its parameters fully describe
+    it), unlike a closure; used by :meth:`MachineModel.dual_regclass`.
+    """
+
+    prefix: str = "f"
+    match_cls: str = "flt"
+    other_cls: str = "int"
+
+    def __call__(self, value: str) -> str:
+        return self.match_cls if value.startswith(self.prefix) else self.other_cls
+
+
 @dataclass(frozen=True)
 class FUClass:
     """A class of identical functional units.
@@ -65,7 +92,7 @@ class MachineModel:
     name: str
     fu_classes: Tuple[FUClass, ...]
     registers: Mapping[str, int]
-    reg_class_of: Callable[[str], str] = field(default=lambda value: "gpr")
+    reg_class_of: Callable[[str], str] = field(default=default_reg_class)
 
     def __post_init__(self) -> None:
         if not self.fu_classes:
@@ -191,12 +218,9 @@ class MachineModel:
         Values whose names start with ``f`` live in the ``flt`` class;
         everything else is ``int``.
         """
-        def classify(value: str) -> str:
-            return "flt" if value.startswith("f") else "int"
-
         return cls(
             name=name or f"vliw-{n_fus}fu-{int_regs}i{flt_regs}f",
             fu_classes=(FUClass("any", n_fus, 1),),
             registers={"int": int_regs, "flt": flt_regs},
-            reg_class_of=classify,
+            reg_class_of=PrefixRegClassifier("f", "flt", "int"),
         )

@@ -96,6 +96,7 @@ class AnalysisManager:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def get(
@@ -129,6 +130,8 @@ class AnalysisManager:
         self._latest[family] = dag.version
         while len(self._cache) > self.MAX_ENTRIES:
             self._cache.pop(next(iter(self._cache)))
+            self.evictions += 1
+            obs.count("pm.cache_evict")
         return value
 
     def invalidate(self, name: Optional[str] = None) -> None:
@@ -188,6 +191,7 @@ class AnalysisManager:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "evictions": self.evictions,
             "hit_rate": round(self.hit_rate, 4),
             "entries": len(self._cache),
         }

@@ -205,6 +205,9 @@ class CompiledProgram:
     entry: str
     traces: Dict[str, CompiledTrace]
     method: str
+    #: persistent-cache outcome for this compile (0/0 when caching off).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     MAX_TRACE_DISPATCHES = 1_000_000
 
@@ -248,6 +251,10 @@ def compile_program(
     machine: MachineModel,
     method: str = "ursa",
     max_trace_blocks: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
+    deadline_ms: Optional[float] = None,
+    resilient: bool = False,
 ) -> CompiledProgram:
     """Compile every trace of ``program`` for ``machine``.
 
@@ -257,26 +264,140 @@ def compile_program(
     :class:`~repro.pm.analysis.AnalysisManager` — cache entries are
     keyed by globally unique DAG versions, so a cross-trace cache is
     sound, and the shared hit/miss counters describe the whole program.
+
+    Scaling knobs (see ``docs/serving.md``):
+
+    * ``cache`` — persistent content-addressed artifact cache: ``True``
+      for the default store (``$REPRO_CACHE_DIR`` / ``~/.cache/repro``),
+      a path, or a :class:`repro.serve.CompileCache`.  Identical traces
+      hit across runs, processes, and users; duplicate traces *within*
+      the program compile once.
+    * ``jobs`` — fan cache-missing traces across a ``multiprocessing``
+      pool of this many workers (deterministic, input-order results;
+      degrades to serial if the pool cannot run).
+    * ``deadline_ms`` / ``resilient`` — per-trace deadline and the
+      ``repro.resilience`` fallback ladder inside each shard.  With a
+      deadline the persistent cache is bypassed (best-so-far output is
+      time-dependent, so it must not be memoized).
+
+    Both paths are bit-identical to the plain serial compile (compare
+    :func:`repro.serve.program_signature` per trace).
     """
     from repro.pm.analysis import AnalysisManager
 
     program.validate()
     traces = entry_safe_traces(program, max_trace_blocks=max_trace_blocks)
-    compiled: Dict[str, CompiledTrace] = {}
-    analysis_manager = AnalysisManager()
-    for trace in traces:
-        prepared = prepare_trace(program, trace)
-        result = compile_trace(
-            prepared.instructions,
-            machine,
+    prepared_list = [prepare_trace(program, trace) for trace in traces]
+    parallel = jobs is not None and jobs > 1
+
+    if cache is None and not parallel and deadline_ms is None and not resilient:
+        # The classic serial path: no serve machinery touched at all.
+        compiled: Dict[str, CompiledTrace] = {}
+        analysis_manager = AnalysisManager()
+        for prepared in prepared_list:
+            result = compile_trace(
+                prepared.instructions,
+                machine,
+                method=method,
+                verify=False,
+                analysis_manager=analysis_manager,
+            )
+            compiled[prepared.head] = CompiledTrace(
+                prepared=prepared,
+                program=result.program,
+                cycles_estimate=result.schedule.length,
+            )
+        return CompiledProgram(
+            machine=machine,
+            source=program,
+            entry=program.entry.label,
+            traces=compiled,
             method=method,
-            verify=False,
-            analysis_manager=analysis_manager,
         )
+    return _compile_program_serve(
+        program, machine, method, prepared_list,
+        jobs=jobs, cache=cache, deadline_ms=deadline_ms, resilient=resilient,
+    )
+
+
+def _compile_program_serve(
+    program: Program,
+    machine: MachineModel,
+    method: str,
+    prepared_list: Sequence[PreparedTrace],
+    jobs: Optional[int],
+    cache: object,
+    deadline_ms: Optional[float],
+    resilient: bool,
+) -> CompiledProgram:
+    """The cached/sharded compile path (``docs/serving.md``)."""
+    from repro import obs
+    from repro.pm.analysis import AnalysisManager
+    from repro.serve.cache import resolve_cache, trace_key
+    from repro.serve.shard import _compile_one, compile_shards
+
+    store = resolve_cache(cache)
+    cacheable = store is not None and deadline_ms is None
+    extra = ("resilient",) if resilient else ()
+
+    artifacts: Dict[str, object] = {}  # key -> TraceArtifact
+    key_of: Dict[str, str] = {}  # head -> key
+    pending: List[Tuple[str, Sequence[Instruction]]] = []  # unique misses
+    pending_keys: Set[str] = set()
+    hits = 0
+    for prepared in prepared_list:
+        key = trace_key(prepared.instructions, machine, method, extra=extra)
+        key_of[prepared.head] = key
+        if key in artifacts or key in pending_keys:
+            continue  # duplicate trace: compile/fetch once
+        artifact = store.get(key) if cacheable else None
+        if artifact is not None:
+            artifacts[key] = artifact
+            hits += 1
+        else:
+            pending.append((key, prepared.instructions))
+            pending_keys.add(key)
+
+    fresh_keys: List[str] = []
+    if pending:
+        shards = None
+        if jobs is not None and jobs > 1 and len(pending) > 1:
+            shards = compile_shards(
+                pending, machine, method, jobs,
+                deadline_ms=deadline_ms, resilient=resilient,
+            )
+        if shards is None:
+            manager = AnalysisManager()
+            shards = [
+                _compile_one(
+                    instructions, machine, method, deadline_ms, resilient,
+                    key, analysis_manager=manager,
+                )
+                for key, instructions in pending
+            ]
+        for artifact in shards:
+            artifacts[artifact.key] = artifact
+            fresh_keys.append(artifact.key)
+
+    if cacheable:
+        for key in fresh_keys:
+            artifact = artifacts[key]
+            degradation = artifact.degradation
+            if degradation is not None and degradation.get("degraded"):
+                continue  # never memoize a degraded answer
+            store.put(artifact)
+
+    obs.count("serve.program_traces", len(prepared_list))
+    if store is not None:
+        obs.count("serve.program_cache_hits", hits)
+
+    compiled: Dict[str, CompiledTrace] = {}
+    for prepared in prepared_list:
+        artifact = artifacts[key_of[prepared.head]]
         compiled[prepared.head] = CompiledTrace(
             prepared=prepared,
-            program=result.program,
-            cycles_estimate=result.schedule.length,
+            program=artifact.program,
+            cycles_estimate=artifact.cycles_estimate,
         )
     return CompiledProgram(
         machine=machine,
@@ -284,6 +405,8 @@ def compile_program(
         entry=program.entry.label,
         traces=compiled,
         method=method,
+        cache_hits=hits,
+        cache_misses=len(fresh_keys),
     )
 
 

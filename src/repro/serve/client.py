@@ -1,0 +1,123 @@
+"""A minimal stdlib client for the ``repro serve`` endpoint.
+
+``urllib``-based, no dependencies; mirrors the protocol exactly:
+
+    >>> client = ServeClient("http://127.0.0.1:8377")
+    >>> result = client.compile_trace("t0 = add a, b\\nstore t0, [out]")
+    >>> result["cycles_estimate"], result["cache"]["hit"]
+
+Errors come back as :class:`ServeError` carrying the structured
+``error`` object (code/type/message) from the server.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+
+class ServeError(Exception):
+    """A structured error response from the server."""
+
+    def __init__(self, error: Dict[str, Any], status: int = 0) -> None:
+        code = error.get("code", "internal")
+        message = error.get("message", "")
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.status = status
+        self.error = error
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` endpoint."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8377",
+                 timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                body = json.loads(resp.read().decode())
+                status = resp.status
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode())
+            except Exception:
+                raise ServeError(
+                    {"code": "internal", "message": str(exc)}, exc.code
+                ) from exc
+            status = exc.code
+        if isinstance(body, dict) and body.get("ok") is False:
+            raise ServeError(body.get("error", {}), status)
+        return body
+
+    # ------------------------------------------------------------------
+    def compile_trace(
+        self,
+        source: str,
+        machine: Optional[Dict[str, Any]] = None,
+        method: str = "ursa",
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """Compile one straight-line trace; returns the ``result`` dict."""
+        request: Dict[str, Any] = {
+            "kind": "trace", "source": source, "method": method,
+        }
+        if machine is not None:
+            request["machine"] = machine
+        if options:
+            request["options"] = options
+        return self._request("POST", "/v1/compile", request)["result"]
+
+    def compile_program(
+        self,
+        source: str,
+        machine: Optional[Dict[str, Any]] = None,
+        method: str = "ursa",
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """Compile (and verify-run) a multi-block program."""
+        request: Dict[str, Any] = {
+            "kind": "program", "source": source, "method": method,
+        }
+        if machine is not None:
+            request["machine"] = machine
+        if options:
+            request["options"] = options
+        return self._request("POST", "/v1/compile", request)["result"]
+
+    def batch(self, requests: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Submit a batch; returns the per-entry response list.
+
+        Entries fail independently — inspect each element's ``ok``.
+        """
+        body = self._request("POST", "/v1/compile", {"requests": requests})
+        return body["responses"]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def cache_stats(self) -> Optional[Dict[str, Any]]:
+        return self._request("GET", "/v1/cache")["cache"]
+
+    def health(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (ServeError, OSError):
+            return False

@@ -1,0 +1,391 @@
+"""The ``repro serve`` wire protocol: JSON requests in, JSON results out.
+
+Transport-independent: :func:`handle_payload` maps one decoded JSON
+body to one JSON-serializable response, so the HTTP server, tests, and
+any future socket transport share identical semantics.  The full
+request/response schema reference lives in ``docs/serving.md``.
+
+A *single* request::
+
+    {"kind": "trace",                  # or "program"
+     "source": "x = load [a]\\n...",    # ursa-lang text
+     "machine": {"fus": 4, "regs": 8}, # or {"preset": "research"}, ...
+     "method": "ursa",
+     "options": {"deadline_ms": 500, "resilient": true, "verify": false}}
+
+A *batch* request is ``{"requests": [<single>, ...]}`` and returns
+``{"responses": [...]}`` — one response per request, order preserved,
+failures isolated per entry.
+
+Every response is ``{"ok": true, "result": {...}}`` or
+``{"ok": false, "error": {"code", "type", "message"}}`` with codes:
+
+========== ====== ================================================
+code       HTTP   meaning
+========== ====== ================================================
+bad_request 400   malformed body, unknown method/kind/machine spec
+parse_error 400   the ursa-lang source does not parse
+compile_error 422 the pipeline rejected the program (verifier, ...)
+timeout     408   the deadline expired (non-resilient compiles)
+internal    500   unexpected server-side failure
+========== ====== ================================================
+
+Degraded-but-successful compiles stay ``ok: true`` and carry the
+structured :class:`~repro.resilience.fallback.DegradationReport` dict
+in ``result.degradation`` — same shape as the CLI's ``--json`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.machine.model import MachineModel
+from repro.serve.cache import CompileCache, TraceArtifact, trace_key
+from repro.serve.shard import _compile_one
+
+#: Maps protocol error codes to HTTP statuses.
+ERROR_STATUS = {
+    "bad_request": 400,
+    "parse_error": 400,
+    "compile_error": 422,
+    "timeout": 408,
+    "internal": 500,
+}
+
+#: Upper bound on entries per batch request.
+DEFAULT_MAX_BATCH = 64
+
+
+class ProtocolError(Exception):
+    """A request the protocol cannot serve; carries an error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def machine_from_spec(spec: Optional[Dict[str, Any]]) -> MachineModel:
+    """Build a machine from its JSON spec.
+
+    ``{"preset": "research"}`` picks a named preset;
+    ``{"fus": N, "regs": N, "classed": bool, "latency": N}`` builds a
+    homogeneous (or classed) machine like the CLI flags do.  ``None``
+    means the default research machine.
+    """
+    if spec is None:
+        spec = {}
+    if not isinstance(spec, dict):
+        raise ProtocolError("bad_request", "machine spec must be an object")
+    if "preset" in spec:
+        from repro.machine.presets import PRESETS
+
+        name = spec["preset"]
+        if name not in PRESETS:
+            raise ProtocolError(
+                "bad_request",
+                f"unknown preset {name!r}; available: {sorted(PRESETS)}",
+            )
+        return PRESETS[name]()
+    unknown = set(spec) - {"fus", "regs", "classed", "latency"}
+    if unknown:
+        raise ProtocolError(
+            "bad_request", f"unknown machine spec fields: {sorted(unknown)}"
+        )
+    try:
+        fus = int(spec.get("fus", 4))
+        regs = int(spec.get("regs", 8))
+        latency = int(spec.get("latency", 1))
+    except (TypeError, ValueError):
+        raise ProtocolError("bad_request", "fus/regs/latency must be integers")
+    if spec.get("classed"):
+        return MachineModel.classed(
+            alu=fus, mul=max(1, fus // 2), mem=max(1, fus // 2),
+            branch=1, alu_regs=regs,
+        )
+    return MachineModel.homogeneous(fus, regs, latency=latency)
+
+
+def error_response(code: str, exc_type: str, message: str) -> Dict[str, Any]:
+    obs.count("serve.errors")
+    obs.count(f"serve.error.{code}")
+    return {
+        "ok": False,
+        "error": {"code": code, "type": exc_type, "message": message},
+    }
+
+
+def _classify_exception(exc: Exception) -> Tuple[str, str]:
+    """(error code, message) for a compile-path exception."""
+    from repro.resilience.budgets import DeadlineExpired
+
+    if isinstance(exc, ProtocolError):
+        return exc.code, str(exc)
+    if isinstance(exc, DeadlineExpired):
+        return "timeout", f"deadline expired at {exc.site}"
+    name = type(exc).__name__
+    if name in (
+        "PipelineError", "AllocationError", "ScheduleError",
+        "RegAllocError", "VerifyError", "ProgramCompileError",
+        "CycleError", "MachineConfigError", "InterpreterError",
+    ):
+        message = str(exc).splitlines()[0] if str(exc) else name
+        return "compile_error", message
+    if name in ("ParseError", "SyntaxError", "ValueError", "KeyError"):
+        return "parse_error", str(exc).splitlines()[0] if str(exc) else name
+    return "internal", f"{name}: {exc}"
+
+
+# ======================================================================
+# Request handlers.
+# ======================================================================
+def _require_source(request: Dict[str, Any]) -> str:
+    source = request.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ProtocolError("bad_request", "missing 'source' (ursa-lang text)")
+    return source
+
+
+def _method_of(request: Dict[str, Any]) -> str:
+    from repro.pipeline import METHODS
+
+    method = request.get("method", "ursa")
+    if method not in METHODS:
+        raise ProtocolError(
+            "bad_request", f"unknown method {method!r}; pick one of {METHODS}"
+        )
+    return method
+
+
+def _options_of(request: Dict[str, Any]) -> Dict[str, Any]:
+    options = request.get("options", {})
+    if not isinstance(options, dict):
+        raise ProtocolError("bad_request", "'options' must be an object")
+    unknown = set(options) - {
+        "deadline_ms", "resilient", "verify", "seed", "memory",
+    }
+    if unknown:
+        raise ProtocolError(
+            "bad_request", f"unknown options: {sorted(unknown)}"
+        )
+    return options
+
+
+def _memory_of(options: Dict[str, Any]) -> Dict[Tuple[str, int], int]:
+    """Initial memory cells: ``{"v": 5, "w+4": 2}`` -> {(base, off): val}.
+
+    Same addressing the CLI's ``--mem base[+offset]=value`` flag uses.
+    """
+    spec = options.get("memory", {})
+    if not isinstance(spec, dict):
+        raise ProtocolError(
+            "bad_request", "'options.memory' must map cells to integers"
+        )
+    memory: Dict[Tuple[str, int], int] = {}
+    for cell, value in spec.items():
+        base, _, offset = str(cell).partition("+")
+        try:
+            memory[(base, int(offset) if offset else 0)] = int(value)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                "bad_request", f"bad memory cell {cell!r}={value!r}"
+            )
+    return memory
+
+
+def handle_trace_request(
+    request: Dict[str, Any],
+    cache: Optional[CompileCache],
+    default_deadline_ms: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Compile one straight-line trace; memoized through ``cache``."""
+    from repro.ir.parser import parse_trace
+
+    source = _require_source(request)
+    method = _method_of(request)
+    options = _options_of(request)
+    machine = machine_from_spec(request.get("machine"))
+    deadline_ms = options.get("deadline_ms", default_deadline_ms)
+    resilient = bool(options.get("resilient", False))
+
+    try:
+        instructions = parse_trace(source)
+    except Exception as exc:
+        raise ProtocolError(
+            "parse_error", str(exc).splitlines()[0] if str(exc) else "parse failed"
+        )
+
+    extra = ("resilient",) if resilient else ()
+    key = trace_key(instructions, machine, method, extra=extra)
+    artifact: Optional[TraceArtifact] = None
+    hit = hot = False
+    cacheable = cache is not None and deadline_ms is None
+    if cacheable:
+        before_hot = cache.hot_hits
+        artifact = cache.get(key)
+        hit = artifact is not None
+        hot = hit and cache.hot_hits > before_hot
+    if artifact is None:
+        artifact = _compile_one(
+            instructions, machine, method, deadline_ms, resilient, key
+        )
+        if cacheable and not (
+            artifact.degradation and artifact.degradation.get("degraded")
+        ):
+            cache.put(artifact)
+
+    verified: Optional[bool] = None
+    if options.get("verify"):
+        from repro.pipeline import build_dag, synthesize_memory, verify_program
+
+        dag = build_dag(instructions)
+        memory = synthesize_memory(dag, int(options.get("seed", 0)))
+        _, verified = verify_program(
+            dag, artifact.program, machine, memory
+        )
+
+    program = artifact.program
+    return {
+        "ok": True,
+        "result": {
+            "kind": "trace",
+            "method": method,
+            "machine": machine.describe(),
+            "cycles_estimate": artifact.cycles_estimate,
+            "issue_cycles": program.issue_cycles,
+            "op_count": program.op_count,
+            "spill_ops": program.spill_op_count,
+            "utilization": round(program.utilization(), 4),
+            "program": str(program),
+            "verified": verified,
+            "degradation": artifact.degradation,
+            "cache": {"hit": hit, "hot": hot, "key": key},
+        },
+    }
+
+
+def handle_program_request(
+    request: Dict[str, Any],
+    cache: Optional[CompileCache],
+    default_deadline_ms: Optional[float] = None,
+    jobs: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Compile (and run) a whole multi-block program."""
+    from repro.ir.parser import parse_program
+    from repro.program_compiler import compile_program, verify_compiled_program
+
+    source = _require_source(request)
+    method = _method_of(request)
+    options = _options_of(request)
+    machine = machine_from_spec(request.get("machine"))
+    deadline_ms = options.get("deadline_ms", default_deadline_ms)
+
+    try:
+        program = parse_program(source)
+    except Exception as exc:
+        raise ProtocolError(
+            "parse_error", str(exc).splitlines()[0] if str(exc) else "parse failed"
+        )
+
+    compiled = compile_program(
+        program, machine, method=method,
+        jobs=jobs, cache=cache, deadline_ms=deadline_ms,
+        resilient=bool(options.get("resilient", False)),
+    )
+    result: Dict[str, Any] = {
+        "kind": "program",
+        "method": method,
+        "machine": machine.describe(),
+        "traces": sorted(compiled.traces),
+        "static_ops": compiled.total_static_ops(),
+        "cache": {
+            "hits": compiled.cache_hits,
+            "misses": compiled.cache_misses,
+        },
+    }
+    if options.get("verify", True):
+        run, ok = verify_compiled_program(
+            compiled, memory=_memory_of(options) or None
+        )
+        result["dynamic_cycles"] = run.cycles
+        result["dispatch_path"] = run.trace_path
+        result["verified"] = ok
+    return {"ok": True, "result": result}
+
+
+def handle_single(
+    request: Dict[str, Any],
+    cache: Optional[CompileCache],
+    default_deadline_ms: Optional[float] = None,
+    jobs: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Dispatch one request dict; never raises."""
+    try:
+        if not isinstance(request, dict):
+            raise ProtocolError("bad_request", "request must be an object")
+        kind = request.get("kind", "trace")
+        with obs.span("serve.request", kind=str(kind)):
+            obs.count("serve.requests")
+            if kind == "trace":
+                response = handle_trace_request(
+                    request, cache, default_deadline_ms
+                )
+            elif kind == "program":
+                response = handle_program_request(
+                    request, cache, default_deadline_ms, jobs
+                )
+            else:
+                raise ProtocolError(
+                    "bad_request",
+                    f"unknown kind {kind!r}; expected 'trace' or 'program'",
+                )
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+    except Exception as exc:
+        code, message = _classify_exception(exc)
+        response = error_response(code, type(exc).__name__, message)
+        if isinstance(request, dict) and "id" in request:
+            response["id"] = request["id"]
+        return response
+
+
+def handle_payload(
+    payload: Any,
+    cache: Optional[CompileCache],
+    default_deadline_ms: Optional[float] = None,
+    jobs: Optional[int] = None,
+    max_batch: int = DEFAULT_MAX_BATCH,
+) -> Tuple[int, Dict[str, Any]]:
+    """One decoded JSON body -> ``(http_status, response_body)``.
+
+    Accepts a single request object or a ``{"requests": [...]}`` batch;
+    batch entries fail independently, and the batch itself is always
+    HTTP 200 (per-entry status is in each response's ``ok``/``error``).
+    """
+    if isinstance(payload, dict) and "requests" in payload:
+        requests = payload["requests"]
+        if not isinstance(requests, list):
+            body = error_response(
+                "bad_request", "ProtocolError", "'requests' must be an array"
+            )
+            return ERROR_STATUS["bad_request"], body
+        if len(requests) > max_batch:
+            body = error_response(
+                "bad_request",
+                "ProtocolError",
+                f"batch of {len(requests)} exceeds max_batch={max_batch}",
+            )
+            return ERROR_STATUS["bad_request"], body
+        obs.count("serve.batch_requests")
+        obs.count("serve.batched_entries", len(requests))
+        responses: List[Dict[str, Any]] = [
+            handle_single(entry, cache, default_deadline_ms, jobs)
+            for entry in requests
+        ]
+        return 200, {"responses": responses}
+
+    response = handle_single(payload, cache, default_deadline_ms, jobs)
+    if response.get("ok"):
+        return 200, response
+    return ERROR_STATUS.get(response["error"]["code"], 500), response

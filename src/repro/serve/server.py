@@ -1,0 +1,221 @@
+"""The ``repro serve`` HTTP endpoint: a long-lived compilation service.
+
+Stdlib-only (``http.server``), so it runs anywhere the library does.
+One process hosts:
+
+* ``POST /v1/compile`` — single or batch compile requests (see
+  :mod:`repro.serve.protocol` and ``docs/serving.md``);
+* ``GET  /v1/stats``   — server-lifetime observability counters plus
+  cache statistics;
+* ``GET  /v1/cache``   — the persistent store's stats alone;
+* ``GET  /healthz``    — liveness probe (also warms nothing).
+
+The server owns one :class:`~repro.serve.cache.CompileCache`: its disk
+level is the cross-process persistent store, its memory level is the
+hot-trace memoization that makes repeated requests for the same kernel
+free.  A server-lifetime ``repro.obs`` capture backs ``/v1/stats``, and
+every request runs under a ``serve.request`` span.
+
+Threading: :class:`ThreadingHTTPServer` gives one thread per
+connection.  The cache is thread-safe; compilation itself is pure
+Python and GIL-bound, so concurrency here is about *latency overlap*
+(slow clients, cache hits during a long compile), while CPU-parallel
+throughput comes from the sharded pool (``jobs > 1`` on ``program``
+requests).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro import obs
+from repro.serve.cache import CompileCache, resolve_cache
+from repro.serve.protocol import (
+    DEFAULT_MAX_BATCH,
+    error_response,
+    handle_payload,
+)
+
+#: Request bodies larger than this are rejected outright (64 MiB).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServeApp:
+    """Transport-free core of the server: routes to JSON responses.
+
+    Separated from the HTTP handler so tests can drive it without
+    sockets and future transports can reuse it unchanged.
+    """
+
+    def __init__(
+        self,
+        cache: Union[None, bool, str, Path, CompileCache] = True,
+        jobs: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        self.cache = resolve_cache(cache)
+        self.jobs = jobs
+        self.deadline_ms = deadline_ms
+        self.max_batch = max_batch
+        # Server-lifetime capture: /v1/stats reads these counters.
+        self._capture = obs.capture()
+        self.observer = self._capture.__enter__()
+
+    def close(self) -> None:
+        self._capture.__exit__(None, None, None)
+
+    # ------------------------------------------------------------------
+    def compile(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        return handle_payload(
+            payload,
+            self.cache,
+            default_deadline_ms=self.deadline_ms,
+            jobs=self.jobs,
+            max_batch=self.max_batch,
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        counters = dict(sorted(self.observer.counters.items()))
+        return {
+            "ok": True,
+            "counters": counters,
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "config": {
+                "jobs": self.jobs,
+                "deadline_ms": self.deadline_ms,
+                "max_batch": self.max_batch,
+                "caching": self.cache is not None,
+            },
+        }
+
+    def cache_stats(self) -> Tuple[int, Dict[str, Any]]:
+        if self.cache is None:
+            return 200, {"ok": True, "cache": None}
+        return 200, {"ok": True, "cache": self.cache.stats()}
+
+    def health(self) -> Dict[str, Any]:
+        return {"ok": True, "status": "serving"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps HTTP verbs/paths onto the :class:`ServeApp`."""
+
+    app: ServeApp  # set by make_server on the subclass
+    quiet = True
+
+    # ------------------------------------------------------------------
+    def _send(self, status: int, body: Dict[str, Any]) -> None:
+        blob = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if not self.quiet:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path == "/healthz":
+            self._send(200, self.app.health())
+        elif self.path == "/v1/stats":
+            self._send(200, self.app.stats())
+        elif self.path == "/v1/cache":
+            self._send(*self.app.cache_stats())
+        else:
+            self._send(
+                404,
+                error_response("bad_request", "NotFound",
+                               f"no route {self.path!r}"),
+            )
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/v1/compile":
+            self._send(
+                404,
+                error_response("bad_request", "NotFound",
+                               f"no route {self.path!r}"),
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send(
+                400,
+                error_response("bad_request", "ProtocolError",
+                               "missing or oversized Content-Length"),
+            )
+            return
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send(
+                400,
+                error_response("bad_request", type(exc).__name__,
+                               f"body is not valid JSON: {exc}"),
+            )
+            return
+        try:
+            status, body = self.app.compile(payload)
+        except Exception as exc:  # handle_payload shields; belt+braces
+            status, body = 500, error_response(
+                "internal", type(exc).__name__, str(exc)
+            )
+        self._send(status, body)
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8377,
+    cache: Union[None, bool, str, Path, CompileCache] = True,
+    jobs: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server.
+
+    The returned server exposes ``.app`` (the :class:`ServeApp`) and
+    ``.server_address`` (useful with ``port=0`` in tests).  Callers own
+    shutdown: ``server.shutdown(); server.server_close();
+    server.app.close()``.
+    """
+    app = ServeApp(
+        cache=cache, jobs=jobs, deadline_ms=deadline_ms, max_batch=max_batch
+    )
+    handler = type("BoundHandler", (_Handler,), {"app": app, "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.app = app  # type: ignore[attr-defined]
+    return server
+
+
+def serve_forever(
+    host: str = "127.0.0.1",
+    port: int = 8377,
+    **kwargs: Any,
+) -> None:
+    """Run the compile service until interrupted (the CLI entry)."""
+    server = make_server(host, port, **kwargs)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port}")
+    app: ServeApp = server.app  # type: ignore[attr-defined]
+    if app.cache is not None:
+        print(f"repro serve: persistent cache at {app.cache.root}")
+    else:
+        print("repro serve: persistent cache disabled")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        server.server_close()
+        app.close()

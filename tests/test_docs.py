@@ -101,4 +101,26 @@ def test_referenced_modules_exist(doc):
 def test_doc_set_is_nonempty():
     names = {d.name for d in DOC_FILES}
     assert {"README.md", "architecture.md", "observability.md",
-            "paper_mapping.md", "algorithms.md"} <= names
+            "paper_mapping.md", "algorithms.md", "serving.md"} <= names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_json_snippets_parse(doc):
+    import json
+
+    for line, language, source in fenced_blocks(doc):
+        if language != "json":
+            continue
+        try:
+            json.loads(source)
+        except json.JSONDecodeError as error:
+            pytest.fail(
+                f"{_doc_id(doc)} line {line}: json snippet does not "
+                f"parse: {error}"
+            )
+
+
+def test_serving_doc_is_linked():
+    """The serving story must be reachable from the entry-point docs."""
+    assert "docs/serving.md" in (REPO / "README.md").read_text()
+    assert "serving.md" in (REPO / "docs" / "architecture.md").read_text()

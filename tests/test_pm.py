@@ -102,7 +102,8 @@ class TestAnalysisManager:
         manager.asap(fig2_dag)
         stats = manager.stats()
         assert set(stats) == {
-            "hits", "misses", "invalidations", "hit_rate", "entries"
+            "hits", "misses", "invalidations", "evictions", "hit_rate",
+            "entries",
         }
 
 

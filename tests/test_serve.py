@@ -1,0 +1,400 @@
+"""Tests for ``repro.serve``: cache, sharding, protocol, and server.
+
+Three properties carry the serving story (docs/serving.md):
+
+* cache keys are content addresses — uid-independent, sensitive to
+  everything that changes compiled output, stable across processes;
+* the sharded parallel compile path is bit-identical to the serial
+  path (checked via ``program_signature``, the uid-free rendering);
+* the HTTP endpoint speaks the documented protocol, including batch
+  isolation and structured error codes.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.ir.parser import parse_program, parse_trace
+from repro.machine.model import MachineModel
+from repro.program_compiler import compile_program, verify_compiled_program
+from repro.serve.cache import (
+    CompileCache,
+    TraceArtifact,
+    program_signature,
+    resolve_cache,
+    trace_key,
+)
+
+TRACE_SRC = """\
+a = load [A]
+b = load [B]
+t0 = a + b
+t1 = t0 * a
+store [OUT], t1
+"""
+
+PROGRAM_SRC = """\
+start:
+  n = 6
+  i = 0
+loop:
+  x = load [v]
+  s = x + i
+  store [w], s
+  i = i + 1
+  c = i < n
+  if c goto loop
+done:
+  halt
+"""
+
+MACHINE = MachineModel.homogeneous(2, 4)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CompileCache(tmp_path / "store")
+
+
+# ======================================================================
+# Key derivation.
+# ======================================================================
+class TestTraceKey:
+    def test_uid_independent(self):
+        # Two parses allocate disjoint uid ranges; the key must not care.
+        first = parse_trace(TRACE_SRC)
+        second = parse_trace(TRACE_SRC)
+        assert [inst.uid for inst in first] != [inst.uid for inst in second]
+        assert trace_key(first, MACHINE, "ursa") == trace_key(
+            second, MACHINE, "ursa"
+        )
+
+    def test_sensitive_to_trace_text(self):
+        base = parse_trace(TRACE_SRC)
+        changed = parse_trace(TRACE_SRC.replace("t0 * a", "t0 * b"))
+        assert trace_key(base, MACHINE, "ursa") != trace_key(
+            changed, MACHINE, "ursa"
+        )
+
+    def test_sensitive_to_machine(self):
+        trace = parse_trace(TRACE_SRC)
+        key = trace_key(trace, MACHINE, "ursa")
+        assert key != trace_key(
+            trace, MachineModel.homogeneous(4, 8), "ursa"
+        )
+        assert key != trace_key(
+            trace, MachineModel.homogeneous(2, 4, latency=2), "ursa"
+        )
+
+    def test_sensitive_to_method_engine_extra(self):
+        trace = parse_trace(TRACE_SRC)
+        key = trace_key(trace, MACHINE, "ursa")
+        assert key != trace_key(trace, MACHINE, "postpass")
+        assert key != trace_key(trace, MACHINE, "ursa", engine="legacy")
+        assert key != trace_key(
+            trace, MACHINE, "ursa", extra=("resilient",)
+        )
+
+    def test_classifier_behavior_is_keyed(self):
+        trace = parse_trace(TRACE_SRC)
+        dual = MachineModel.dual_regclass(2, 4, 4)
+        assert trace_key(trace, dual, "ursa") != trace_key(
+            trace, MACHINE, "ursa"
+        )
+
+    def test_stable_across_processes(self):
+        # The content address must be reproducible in a fresh
+        # interpreter, or cross-run cache hits cannot exist.
+        trace = parse_trace(TRACE_SRC)
+        local = trace_key(trace, MACHINE, "ursa")
+        script = (
+            "from repro.ir.parser import parse_trace\n"
+            "from repro.machine.model import MachineModel\n"
+            "from repro.serve.cache import trace_key\n"
+            f"trace = parse_trace({TRACE_SRC!r})\n"
+            "print(trace_key(trace, MachineModel.homogeneous(2, 4), 'ursa'))\n"
+        )
+        src = Path(__file__).resolve().parent.parent / "src"
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        ).stdout.strip()
+        assert remote == local
+
+
+# ======================================================================
+# The persistent store.
+# ======================================================================
+class TestCompileCache:
+    def test_round_trip_fresh_instance(self, tmp_path):
+        root = tmp_path / "store"
+        compiled = compile_program(
+            parse_program(PROGRAM_SRC), MACHINE, cache=root
+        )
+        assert compiled.cache_hits == 0 and compiled.cache_misses == 2
+
+        # A brand-new cache object on the same root: pure disk hits.
+        again = compile_program(
+            parse_program(PROGRAM_SRC), MACHINE, cache=root
+        )
+        assert again.cache_hits == 2 and again.cache_misses == 0
+        for head in compiled.traces:
+            assert program_signature(
+                compiled.traces[head].program
+            ) == program_signature(again.traces[head].program)
+        _, ok = verify_compiled_program(again, {("v", 0): 5})
+        assert ok
+
+    def test_cached_artifact_is_correct_cross_process(self, tmp_path):
+        # Populate the store from a *different* interpreter, then hit
+        # it here: the artifact must unpickle and verify.
+        root = tmp_path / "store"
+        script = (
+            "from repro.ir.parser import parse_program\n"
+            "from repro.machine.model import MachineModel\n"
+            "from repro.program_compiler import compile_program\n"
+            f"compiled = compile_program(parse_program({PROGRAM_SRC!r}),\n"
+            f"    MachineModel.homogeneous(2, 4), cache={str(root)!r})\n"
+            "assert compiled.cache_misses == 2, compiled.cache_misses\n"
+        )
+        src = Path(__file__).resolve().parent.parent / "src"
+        subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        compiled = compile_program(
+            parse_program(PROGRAM_SRC), MACHINE, cache=root
+        )
+        assert compiled.cache_hits == 2 and compiled.cache_misses == 0
+        _, ok = verify_compiled_program(compiled, {("v", 0): 5})
+        assert ok
+
+    def test_corrupt_object_is_a_miss(self, cache):
+        trace = parse_trace(TRACE_SRC)
+        key = trace_key(trace, MACHINE, "ursa")
+        path = cache._object_path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()  # deleted on first read
+
+    def test_hot_memo_skips_disk(self, cache):
+        compiled = compile_program(
+            parse_program(PROGRAM_SRC), MACHINE, cache=cache
+        )
+        assert compiled.cache_misses == 2
+        # Same cache object: the memo answers without touching disk.
+        for path in cache._objects():
+            path.unlink()
+        again = compile_program(
+            parse_program(PROGRAM_SRC), MACHINE, cache=cache
+        )
+        assert again.cache_hits == 2
+        assert cache.hot_hits >= 2
+
+    def test_deadline_bypasses_cache(self, cache):
+        compiled = compile_program(
+            parse_program(PROGRAM_SRC), MACHINE,
+            cache=cache, deadline_ms=5000,
+        )
+        # Deadline'd output is time-dependent: never read, never stored.
+        assert compiled.cache_hits == 0
+        assert cache.stats()["entries"] == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_gc_and_clear(self, cache):
+        compile_program(parse_program(PROGRAM_SRC), MACHINE, cache=cache)
+        assert cache.stats()["entries"] == 2
+        outcome = cache.gc(max_bytes=0)
+        assert outcome["removed"] == 2 and outcome["remaining"] == 0
+        # Fresh instance (no hot memo): the recompile rewrites the store.
+        refill = CompileCache(cache.root)
+        compile_program(parse_program(PROGRAM_SRC), MACHINE, cache=refill)
+        assert refill.clear() == 2
+        assert refill.stats()["entries"] == 0
+
+    def test_resolve_cache_forms(self, tmp_path, cache):
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        assert resolve_cache(cache) is cache
+        store = resolve_cache(tmp_path / "elsewhere")
+        assert isinstance(store, CompileCache)
+        assert store.root == tmp_path / "elsewhere"
+
+
+# ======================================================================
+# Sharded parallel compilation.
+# ======================================================================
+class TestParallelCompile:
+    def _identical(self, serial, parallel):
+        assert sorted(serial.traces) == sorted(parallel.traces)
+        for head in serial.traces:
+            assert program_signature(
+                serial.traces[head].program
+            ) == program_signature(parallel.traces[head].program), head
+
+    def test_bit_identical_to_serial(self):
+        program = parse_program(PROGRAM_SRC)
+        serial = compile_program(program, MACHINE)
+        parallel = compile_program(program, MACHINE, jobs=2)
+        self._identical(serial, parallel)
+        run_s, ok_s = verify_compiled_program(serial, {("v", 0): 5})
+        run_p, ok_p = verify_compiled_program(parallel, {("v", 0): 5})
+        assert ok_s and ok_p
+        assert run_s.cycles == run_p.cycles
+        assert run_s.user_memory() == run_p.user_memory()
+
+    def test_bit_identical_on_random_programs(self):
+        from repro.workloads.random_programs import random_structured_program
+
+        for seed in (7, 11):
+            program = random_structured_program(seed=seed)
+            serial = compile_program(program, MACHINE)
+            parallel = compile_program(program, MACHINE, jobs=2)
+            self._identical(serial, parallel)
+
+    def test_parallel_populates_shared_cache(self, cache):
+        program = parse_program(PROGRAM_SRC)
+        first = compile_program(program, MACHINE, jobs=2, cache=cache)
+        assert first.cache_misses == 2
+        second = compile_program(program, MACHINE, jobs=2, cache=cache)
+        assert second.cache_hits == 2 and second.cache_misses == 0
+        self._identical(first, second)
+
+    def test_pool_failure_degrades_to_serial(self, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process spawning here")
+
+        monkeypatch.setattr(
+            "multiprocessing.Pool", broken_pool
+        )
+        program = parse_program(PROGRAM_SRC)
+        compiled = compile_program(program, MACHINE, jobs=2)
+        serial = compile_program(program, MACHINE)
+        self._identical(serial, compiled)
+
+
+# ======================================================================
+# The server.
+# ======================================================================
+@pytest.fixture
+def server(tmp_path):
+    from repro.serve.server import make_server
+
+    srv = make_server(port=0, cache=tmp_path / "store", jobs=None)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    srv.app.close()
+
+
+@pytest.fixture
+def client(server):
+    from repro.serve.client import ServeClient
+
+    host, port = server.server_address[:2]
+    return ServeClient(f"http://{host}:{port}")
+
+
+class TestServer:
+    def test_health_and_stats_routes(self, client):
+        assert client.health()
+        stats = client.stats()
+        assert stats["ok"] and stats["config"]["caching"]
+
+    def test_trace_compile_and_hot_hit(self, client):
+        first = client.compile_trace(
+            TRACE_SRC, machine={"fus": 2, "regs": 4}, verify=True
+        )
+        assert first["verified"] is True
+        assert first["cache"] == {
+            "hit": False, "hot": False, "key": first["cache"]["key"]
+        }
+        second = client.compile_trace(TRACE_SRC, machine={"fus": 2, "regs": 4})
+        assert second["cache"]["hit"] and second["cache"]["hot"]
+        assert first["program"] == second["program"]
+
+    def test_program_compile(self, client):
+        result = client.compile_program(
+            PROGRAM_SRC, machine={"preset": "research"},
+            memory={"v": 5},
+        )
+        assert result["verified"] is True
+        assert result["cache"] == {"hits": 0, "misses": 2}
+        assert result["dispatch_path"][0] == "start"
+
+    def test_batch_isolates_failures(self, client):
+        responses = client.batch([
+            {"kind": "trace", "source": TRACE_SRC, "id": "good"},
+            {"kind": "trace", "source": "definitely ( not code", "id": "bad"},
+            {"kind": "trace", "source": TRACE_SRC, "method": "nope"},
+        ])
+        assert [r["ok"] for r in responses] == [True, False, False]
+        assert responses[0]["id"] == "good"
+        assert responses[1]["error"]["code"] == "parse_error"
+        assert responses[2]["error"]["code"] == "bad_request"
+
+    def test_error_codes_and_statuses(self, client):
+        from repro.serve.client import ServeError
+
+        with pytest.raises(ServeError) as err:
+            client.compile_trace("garbage ( <<")
+        assert err.value.code == "parse_error" and err.value.status == 400
+
+        with pytest.raises(ServeError) as err:
+            client.compile_trace(TRACE_SRC, machine={"preset": "atari"})
+        assert err.value.code == "bad_request" and err.value.status == 400
+
+        with pytest.raises(ServeError) as err:
+            client._request("POST", "/v1/compile", {"kind": "sculpture"})
+        assert err.value.code == "bad_request"
+
+    def test_stats_reflect_traffic(self, client):
+        client.compile_trace(TRACE_SRC)
+        client.compile_trace(TRACE_SRC)
+        counters = client.stats()["counters"]
+        assert counters["serve.requests"] >= 2
+        assert counters["serve.cache_hit"] >= 1
+        session = client.cache_stats()["session"]
+        assert session["hits"] >= 1 and session["puts"] >= 1
+
+
+class TestProtocolUnit:
+    def test_handle_payload_without_server(self):
+        from repro.serve.protocol import handle_payload
+
+        status, body = handle_payload(
+            {"kind": "trace", "source": TRACE_SRC}, cache=None
+        )
+        assert status == 200 and body["ok"]
+        status, body = handle_payload({"kind": "trace"}, cache=None)
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_oversized_batch_rejected(self):
+        from repro.serve.protocol import handle_payload
+
+        status, body = handle_payload(
+            {"requests": [{"kind": "trace"}] * 5}, cache=None, max_batch=4
+        )
+        assert status == 400 and "max_batch" in body["error"]["message"]
+
+    def test_machine_from_spec(self):
+        from repro.serve.protocol import ProtocolError, machine_from_spec
+
+        assert machine_from_spec(None).name == "vliw-4fu-8r"
+        assert machine_from_spec({"preset": "research"}).total_fus > 0
+        classed = machine_from_spec({"fus": 4, "regs": 8, "classed": True})
+        assert len(classed.fu_classes) > 1
+        with pytest.raises(ProtocolError):
+            machine_from_spec({"warp": 9})
