@@ -1,0 +1,424 @@
+"""Sound static lower bounds on registers, FUs, and schedule length.
+
+The paper measures the *worst-case* requirement of a trace as the width
+of a reuse partial order (Dilworth, Theorem 1).  This module derives
+cheap **lower** bounds on those measurements — and on every schedule's
+realized cost — so admission control and ladder selection can act
+before any compilation:
+
+* :func:`register_lower_bound` — width of the *necessary-reuse* order
+  ``R``: ``R(u, w)`` iff some maximal use ``m`` of ``u`` satisfies
+  ``def(w) == m`` or ``def(w)`` is a descendant of ``m`` (dead values:
+  ``def(w)`` below ``def(u)``).  Because ``Kill()`` always picks a
+  maximal use (``repro.core.kill``), ``R`` contains ``CanReuse_Reg``
+  for *every* admissible kill assignment; an ``R``-antichain is
+  therefore a ``CanReuse`` antichain, so ``width(R) <= width(CanReuse)``
+  — the measured requirement — regardless of which kill the heuristic
+  chose.  Built on the same bitset mask sweeps and Dilworth kernels as
+  the measurement core (``repro.graph.bitset``).
+* :func:`register_pressure_floor` — the largest set of values forced
+  live across one DAG node (def strictly before, some use strictly
+  after).  Such sets are ``R``-antichains too, but additionally every
+  legal schedule realizes them simultaneously, and the floor is
+  monotone under added sequentialization edges — so a floor above the
+  register file proves sequentialization alone can never fit the trace
+  (spill/remat will be forced; the ``ursa-seq`` ladder rung is doomed).
+* :func:`fu_lower_bound` — ``ceil(ops / slots)`` where ``slots`` is the
+  most class-ops one dependence chain can hold
+  (``floor(critical_path / latency)``): chains of ``CanReuse_FU`` are
+  dependence paths, so no chain decomposition can use fewer chains.
+* :func:`length_lower_bound` — ``max(critical path, resource MII)``:
+  each of ``count`` units starts at most ``length / occupancy`` ops.
+
+:func:`feasibility_report` bundles all of it, per machine class, into a
+:class:`FeasibilityReport` with structured predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.core.reuse import (
+    ValueInfo,
+    _element_reach,
+    collect_values,
+    fu_elements,
+)
+from repro.graph import bitset
+from repro.graph.dag import DependenceDAG
+from repro.graph.dilworth import PartialOrder, width
+from repro.machine.model import MachineModel
+
+
+def _class_values(
+    dag: DependenceDAG, machine: MachineModel, reg_class: str
+) -> List[ValueInfo]:
+    return [
+        v for v in collect_values(dag, machine) if v.reg_class == reg_class
+    ]
+
+
+# ======================================================================
+# Register bounds.
+# ======================================================================
+def necessary_reuse_order(
+    dag: DependenceDAG, values: List[ValueInfo]
+) -> PartialOrder:
+    """The order ``R`` that *every* kill choice's ``CanReuse_Reg``
+    contains: reuse via **some** maximal use instead of every one.
+
+    Dual of :func:`repro.core.reuse.can_reuse_registers_sound`, which
+    intersects over maximal uses to get an upper bound; the union here
+    yields a lower bound.  Transitive because a use is always a proper
+    descendant of its value's definition; acyclic because ``R(u, w)``
+    forces ``def(u)`` strictly before ``def(w)`` (and entry-defined
+    live-ins, which share a definition node, admit no ``R`` pairs).
+    """
+    names = [v.name for v in values]
+    def_bits_at: Dict[int, int] = {}
+    for i, v in enumerate(values):
+        def_bits_at[v.def_uid] = def_bits_at.get(v.def_uid, 0) | (1 << i)
+    down = _element_reach(dag, def_bits_at)
+    desc, node_index, _ = dag.closure_masks()
+
+    masks: List[int] = []
+    for i, u in enumerate(values):
+        uses = u.use_uids
+        if not uses:
+            # Dead value: any kill choice frees it at its definition.
+            masks.append(down[u.def_uid] & ~(1 << i))
+            continue
+        use_mask = bitset.mask_of(node_index[m] for m in uses)
+        maximal = [m for m in uses if not (desc[m] & use_mask)]
+        if dag.exit in maximal:
+            masks.append(0)  # live-out: never reusable under any kill
+            continue
+        mask = 0
+        for m in maximal:
+            mask |= down[m] | def_bits_at.get(m, 0)
+        masks.append(mask & ~(1 << i))
+    return PartialOrder.from_masks(names, masks)
+
+
+def register_lower_bound(
+    dag: DependenceDAG, machine: MachineModel, reg_class: str = "gpr"
+) -> int:
+    """A provable lower bound on the measured register requirement."""
+    values = _class_values(dag, machine, reg_class)
+    if not values:
+        return 0
+    return width(necessary_reuse_order(dag, values))
+
+
+def register_pressure_floor(
+    dag: DependenceDAG, machine: MachineModel, reg_class: str = "gpr"
+) -> int:
+    """Most class values any single node forces live simultaneously.
+
+    Per op node ``n``: values untouched at ``n`` whose definition
+    strictly precedes it while some use strictly follows (their
+    registers are held across ``n``), plus the larger of (values read
+    at ``n``, values defined at ``n``) — both variants are antichains
+    of the necessary-reuse order, and the two groups are disjoint by
+    construction.  Entry counts all live-in values, exit all live-out
+    values (the execution model pins both sets).
+    """
+    values = _class_values(dag, machine, reg_class)
+    if not values:
+        return 0
+    crossing: Dict[int, int] = {uid: 0 for uid in dag.op_nodes()}
+    reads: Dict[int, int] = {uid: 0 for uid in dag.op_nodes()}
+    defines: Dict[int, int] = {uid: 0 for uid in dag.op_nodes()}
+    live_in_count = 0
+    live_out_count = 0
+    for v in values:
+        if v.def_uid == dag.entry:
+            live_in_count += 1
+        if v.name in dag.live_out:
+            live_out_count += 1
+        if v.def_uid in defines:
+            defines[v.def_uid] += 1
+        if not v.use_uids:
+            continue
+        ancestors: Set[int] = set()
+        for m in v.use_uids:
+            if m in reads:
+                reads[m] += 1
+            ancestors |= dag.ancestors(m)
+        # A value read at a node is accounted there by ``reads``; keep
+        # ``crossing`` disjoint (counting it in both would double-count
+        # one register and break the lower-bound guarantee).
+        for uid in (dag.descendants(v.def_uid) & ancestors) - set(v.use_uids):
+            if uid in crossing:
+                crossing[uid] += 1
+    floor = max(live_in_count, live_out_count)
+    for uid in crossing:
+        here = crossing[uid] + max(reads[uid], defines[uid])
+        if here > floor:
+            floor = here
+    return floor
+
+
+# ======================================================================
+# FU and length bounds.
+# ======================================================================
+def fu_lower_bound(
+    dag: DependenceDAG, machine: MachineModel, fu_class: str
+) -> int:
+    """A provable lower bound on the measured ``fu_class`` width.
+
+    ``CanReuse_FU`` chains are dependence paths; a path through ``k``
+    class-ops costs at least ``k * latency`` cycles, so no chain holds
+    more than ``floor(critical_path / latency)`` ops and covering
+    ``ops`` elements needs at least ``ceil(ops / that)`` chains.
+    """
+    ops = len(fu_elements(dag, machine, fu_class))
+    if ops == 0:
+        return 0
+    latency = machine.fu_class(fu_class).latency
+    horizon = dag.critical_path_length(machine.latency_of)
+    slots = max(1, horizon // latency)
+    return -(-ops // slots)
+
+
+def _resource_min(dag: DependenceDAG, machine: MachineModel) -> int:
+    """Resource-limited minimum length: each of ``count`` units starts
+    at most ``length / occupancy`` class-ops within ``length`` cycles."""
+    resource = 0
+    for fu in machine.fu_classes:
+        ops = len(fu_elements(dag, machine, fu.name))
+        if ops:
+            need = -(-ops * fu.occupancy // fu.count)
+            if need > resource:
+                resource = need
+    return resource
+
+
+def length_lower_bound(dag: DependenceDAG, machine: MachineModel) -> int:
+    """A lower bound on any schedule's cycle count for ``dag``:
+    ``max(critical path with machine latencies, resource MII)``."""
+    critical = dag.critical_path_length(machine.latency_of)
+    return max(critical, _resource_min(dag, machine))
+
+
+# ======================================================================
+# The machine-aware summary.
+# ======================================================================
+@dataclass(frozen=True)
+class RegisterClassBound:
+    cls: str
+    available: int
+    lower_bound: int
+    pressure_floor: int
+    live_in: int
+    live_out: int
+
+    @property
+    def infeasible(self) -> bool:
+        """No method at all can fit (entry/exit sets overflow the file)."""
+        return max(self.live_in, self.live_out) > self.available
+
+    @property
+    def forces_reduction(self) -> bool:
+        return self.lower_bound > self.available
+
+    @property
+    def forces_spill(self) -> bool:
+        """Sequentialization alone cannot fit this class."""
+        return self.pressure_floor > self.available
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "class": self.cls,
+            "available": self.available,
+            "lower_bound": self.lower_bound,
+            "pressure_floor": self.pressure_floor,
+            "live_in": self.live_in,
+            "live_out": self.live_out,
+            "infeasible": self.infeasible,
+            "forces_reduction": self.forces_reduction,
+            "forces_spill": self.forces_spill,
+        }
+
+
+@dataclass(frozen=True)
+class FUClassBound:
+    cls: str
+    available: int
+    ops: int
+    lower_bound: int
+
+    @property
+    def forces_reduction(self) -> bool:
+        return self.lower_bound > self.available
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "class": self.cls,
+            "available": self.available,
+            "ops": self.ops,
+            "lower_bound": self.lower_bound,
+            "forces_reduction": self.forces_reduction,
+        }
+
+
+@dataclass(frozen=True)
+class LengthBound:
+    critical_path: int
+    resource_min: int
+
+    @property
+    def lower_bound(self) -> int:
+        return max(self.critical_path, self.resource_min)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "critical_path": self.critical_path,
+            "resource_min": self.resource_min,
+            "lower_bound": self.lower_bound,
+        }
+
+
+@dataclass
+class FeasibilityReport:
+    """Machine-aware static bounds for one trace, with predictions."""
+
+    machine: str
+    ops: int
+    registers: Dict[str, RegisterClassBound] = field(default_factory=dict)
+    fus: Dict[str, FUClassBound] = field(default_factory=dict)
+    length: LengthBound = field(default_factory=lambda: LengthBound(0, 0))
+
+    @property
+    def infeasible(self) -> bool:
+        return any(b.infeasible for b in self.registers.values())
+
+    def infeasible_reasons(self) -> List[str]:
+        reasons = []
+        for bound in self.registers.values():
+            if bound.infeasible:
+                pinned = max(bound.live_in, bound.live_out)
+                reasons.append(
+                    f"{pinned} live-in/live-out values need register "
+                    f"class {bound.cls!r} but only {bound.available} "
+                    "exist; no method can be feasible"
+                )
+        return reasons
+
+    def doomed_rungs(self) -> Dict[str, str]:
+        """Ladder rungs static analysis proves cannot succeed."""
+        doomed: Dict[str, str] = {}
+        for bound in self.registers.values():
+            if bound.forces_spill:
+                doomed["ursa-seq"] = (
+                    f"register class {bound.cls!r} pressure floor "
+                    f"{bound.pressure_floor} > {bound.available} available; "
+                    "sequentialization alone cannot fit"
+                )
+                break
+        return doomed
+
+    def predictions(self) -> List[str]:
+        """Human-readable transform/spill forecasts for this machine."""
+        out: List[str] = []
+        for bound in self.registers.values():
+            if bound.infeasible:
+                out.append(
+                    f"reg {bound.cls}: infeasible — "
+                    f"{max(bound.live_in, bound.live_out)} pinned values "
+                    f"exceed {bound.available} registers"
+                )
+            elif bound.forces_spill:
+                out.append(
+                    f"reg {bound.cls}: pressure floor "
+                    f"{bound.pressure_floor} > {bound.available} — "
+                    "spill/remat will be forced (sequentialization "
+                    "cannot help)"
+                )
+            elif bound.forces_reduction:
+                out.append(
+                    f"reg {bound.cls}: requirement >= {bound.lower_bound} "
+                    f"> {bound.available} — reduction transforms will run"
+                )
+        for bound in self.fus.values():
+            if bound.forces_reduction:
+                out.append(
+                    f"fu {bound.cls}: requirement >= {bound.lower_bound} "
+                    f"> {bound.available} — sequentialization will run"
+                )
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "machine": self.machine,
+            "ops": self.ops,
+            "registers": {
+                cls: b.to_dict() for cls, b in sorted(self.registers.items())
+            },
+            "fus": {
+                cls: b.to_dict() for cls, b in sorted(self.fus.items())
+            },
+            "length": self.length.to_dict(),
+            "infeasible": self.infeasible,
+            "doomed_rungs": self.doomed_rungs(),
+            "predictions": self.predictions(),
+        }
+
+    def render(self) -> str:
+        lines = [f"feasibility on {self.machine} ({self.ops} ops):"]
+        for cls, b in sorted(self.registers.items()):
+            lines.append(
+                f"  reg {cls}: >= {b.lower_bound} of {b.available} "
+                f"(floor {b.pressure_floor}, live-in {b.live_in}, "
+                f"live-out {b.live_out})"
+            )
+        for cls, b in sorted(self.fus.items()):
+            lines.append(
+                f"  fu {cls}: >= {b.lower_bound} of {b.available} "
+                f"({b.ops} ops)"
+            )
+        lines.append(
+            f"  length: >= {self.length.lower_bound} cycles "
+            f"(critical path {self.length.critical_path}, "
+            f"resource {self.length.resource_min})"
+        )
+        for prediction in self.predictions():
+            lines.append(f"  ! {prediction}")
+        return "\n".join(lines)
+
+
+def feasibility_report(
+    dag: DependenceDAG, machine: MachineModel
+) -> FeasibilityReport:
+    """Compute every static bound for ``dag`` on ``machine``."""
+    with obs.span("analyze.bounds", nodes=len(dag)):
+        obs.count("analyze.reports")
+        report = FeasibilityReport(
+            machine=machine.describe(), ops=len(dag.op_nodes())
+        )
+        for cls in sorted(machine.registers):
+            values = _class_values(dag, machine, cls)
+            live_in = sum(1 for v in values if v.def_uid == dag.entry)
+            live_out = sum(1 for v in values if v.name in dag.live_out)
+            report.registers[cls] = RegisterClassBound(
+                cls=cls,
+                available=machine.registers[cls],
+                lower_bound=register_lower_bound(dag, machine, cls),
+                pressure_floor=register_pressure_floor(dag, machine, cls),
+                live_in=live_in,
+                live_out=live_out,
+            )
+        for fu in machine.fu_classes:
+            report.fus[fu.name] = FUClassBound(
+                cls=fu.name,
+                available=fu.count,
+                ops=len(fu_elements(dag, machine, fu.name)),
+                lower_bound=fu_lower_bound(dag, machine, fu.name),
+            )
+        report.length = LengthBound(
+            critical_path=dag.critical_path_length(machine.latency_of),
+            resource_min=_resource_min(dag, machine),
+        )
+    return report

@@ -1,0 +1,211 @@
+"""Source-mapped diagnostics for the ahead-of-time analyzer.
+
+Every finding carries a stable code (``A1xx`` well-formedness, ``A9xx``
+parse), a severity, and — when the parser recorded one — a
+:class:`SourceSpan` rendered gcc-style with the offending line and a
+caret column::
+
+    trace.ursa:5: error[A101]: value 'x' may be used before definition
+      5 | y = x + 1
+        |     ^
+
+The code catalogue is documented in ``docs/analysis.md``; codes are
+append-only so downstream tooling can match on them.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Stable diagnostic codes.  Append-only; never renumber.
+CODES: Dict[str, str] = {
+    "A001": "source does not parse",
+    "A101": "value may be used before its definition",
+    "A102": "branch to a label not defined in this program",
+    "A103": "basic block is unreachable from the entry block",
+    "A104": "store is dead (overwritten before any read)",
+    "A105": "value is defined but never used",
+    "A106": "opcode is not executable on the target machine",
+}
+
+#: Report JSON schema version (``docs/analysis.md``).
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A ``file:line`` location with optional caret column."""
+
+    line_no: int
+    line: str = ""
+    filename: Optional[str] = None
+    column: Optional[int] = None  # 1-based; None = no caret
+
+    def location(self) -> str:
+        return f"{self.filename or '<source>'}:{self.line_no}"
+
+    def caret_lines(self) -> List[str]:
+        """The quoted source line plus a caret marker, if any text."""
+        if not self.line.strip():
+            return []
+        stripped = self.line.rstrip()
+        gutter = f"{self.line_no:>4} | "
+        out = [f"{gutter}{stripped}"]
+        if self.column is not None and 1 <= self.column <= len(stripped) + 1:
+            out.append(" " * 4 + " | " + " " * (self.column - 1) + "^")
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "file": self.filename,
+            "line": self.line_no,
+            "column": self.column,
+            "text": self.line.rstrip() or None,
+        }
+
+
+def span_for(
+    line_no: Optional[int],
+    source_lines: Optional[Sequence[str]] = None,
+    filename: Optional[str] = None,
+    anchor: Optional[str] = None,
+) -> Optional[SourceSpan]:
+    """Build a span for ``line_no``, pointing the caret at ``anchor``.
+
+    ``anchor`` is an identifier to underline; the caret lands on its
+    first word-boundary occurrence in the line (or is omitted).
+    """
+    if line_no is None or line_no <= 0:
+        return None
+    line = ""
+    if source_lines is not None and 1 <= line_no <= len(source_lines):
+        line = source_lines[line_no - 1]
+    column: Optional[int] = None
+    if anchor and line:
+        match = re.search(rf"\b{re.escape(anchor)}\b", line)
+        if match is not None:
+            column = match.start() + 1
+    return SourceSpan(line_no, line, filename, column)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding: code, severity, message, location."""
+
+    code: str
+    severity: str
+    message: str
+    span: Optional[SourceSpan] = None
+
+    def render(self) -> str:
+        prefix = f"{self.span.location()}: " if self.span else ""
+        lines = [f"{prefix}{self.severity}[{self.code}]: {self.message}"]
+        if self.span is not None:
+            lines.extend(f"  {text}" for text in self.span.caret_lines())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "span": self.span.to_dict() if self.span else None,
+        }
+
+
+def parse_error_diagnostic(
+    exc: Exception,
+    source: Optional[str] = None,
+    filename: Optional[str] = None,
+) -> Diagnostic:
+    """Wrap a :class:`repro.ir.parser.ParseError` as an ``A001``.
+
+    Works for any exception exposing ``line_no``/``line`` attributes;
+    other exceptions get a span-less diagnostic.
+    """
+    line_no = getattr(exc, "line_no", None)
+    line = getattr(exc, "line", "") or ""
+    span: Optional[SourceSpan] = None
+    if line_no:
+        lines = source.splitlines() if source else None
+        span = span_for(line_no, lines, filename)
+        if span is not None and not span.line and line:
+            span = SourceSpan(line_no, line, filename)
+    message = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+    if line_no and span is not None:
+        # The span already renders the location and line text; drop the
+        # redundant "line N: ...: 'text'" envelope ParseError carries.
+        message = re.sub(rf"^line {line_no}: ", "", message)
+        message = re.sub(r": '[^']*'$", "", message)
+    return Diagnostic("A001", ERROR, message, span)
+
+
+def render_parse_error(
+    exc: Exception,
+    source: Optional[str] = None,
+    filename: Optional[str] = None,
+) -> str:
+    """Caret-rendered one-stop formatting for CLI ``ParseError`` paths."""
+    return parse_error_diagnostic(exc, source, filename).render()
+
+
+@dataclass
+class AnalyzeReport:
+    """Everything the analyzer found for one source: diagnostics plus
+    (when the source was analyzable) per-trace feasibility reports."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Block label -> :class:`repro.analyze.bounds.FeasibilityReport`.
+    feasibility: Dict[str, Any] = field(default_factory=dict)
+    filename: Optional[str] = None
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was produced."""
+        return not self.errors()
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for diagnostic in self.diagnostics:
+            lines.append(diagnostic.render())
+        for label, report in sorted(self.feasibility.items()):
+            lines.append(f"trace {label}:")
+            lines.extend(f"  {row}" for row in report.render().splitlines())
+        summary = (
+            f"analysis: {len(self.errors())} error(s), "
+            f"{len(self.warnings())} warning(s), "
+            f"{len(self.feasibility)} trace(s) bounded"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "ok": self.ok,
+            "file": self.filename,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "feasibility": {
+                label: report.to_dict()
+                for label, report in sorted(self.feasibility.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

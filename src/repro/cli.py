@@ -179,6 +179,36 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analyze import analyze_program, analyze_source
+
+    machine = _machine_from_args(args)
+    if args.kernel is not None:
+        from repro.ir.program import straightline_program
+
+        report = analyze_program(
+            straightline_program(list(kernel(args.kernel))),
+            machine=machine,
+            filename=f"<kernel:{args.kernel}>",
+            bounds=not args.no_bounds,
+        )
+    else:
+        if args.source is None:
+            raise SystemExit("give a source file or --kernel <name>")
+        path = Path(args.source)
+        report = analyze_source(
+            path.read_text(),
+            machine=machine,
+            filename=str(path),
+            bounds=not args.no_bounds,
+        )
+    if getattr(args, "json", False):
+        print(report.to_json(indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
     machine = _machine_from_args(args)
@@ -428,6 +458,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser(
+        "analyze",
+        help="ahead-of-time static analysis: diagnostics + resource "
+             "lower bounds (exit 1 on errors; docs/analysis.md)",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--no-bounds", action="store_true",
+        help="diagnostics only; skip the feasibility/lower-bound layer",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report (schema in docs/analysis.md)",
+    )
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
         "verify", help="static invariant/lint report (exit 1 on errors)"
     )
     _add_common(p)
@@ -558,13 +604,14 @@ def build_parser() -> argparse.ArgumentParser:
 def _compiler_errors() -> tuple:
     """Failure types mapped to structured exit code 2 (vs. tracebacks)."""
     from repro.core.allocator import AllocationError
+    from repro.ir.program import IRError
     from repro.pipeline import PipelineError
     from repro.scheduling.list_scheduler import ScheduleError
     from repro.scheduling.regalloc import RegAllocError
     from repro.verify import VerifyError
 
     return (AllocationError, PipelineError, ScheduleError, RegAllocError,
-            VerifyError)
+            VerifyError, IRError)
 
 
 def _structured_failure(args: argparse.Namespace, exc: Exception) -> int:
@@ -589,8 +636,29 @@ def _structured_failure(args: argparse.Namespace, exc: Exception) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    from repro.ir.parser import ParseError
+
     try:
         return args.func(args)
+    except ParseError as exc:
+        # Bad source is a user error, not a crash: render the offending
+        # line with a caret (docs/analysis.md), then exit 2 with the
+        # same one-line structured message other compiler errors use.
+        if not getattr(args, "json", False):
+            from repro.analyze import render_parse_error
+
+            source_path = getattr(args, "source", None)
+            source_text = None
+            if source_path is not None:
+                try:
+                    source_text = Path(source_path).read_text()
+                except OSError:
+                    source_text = None
+            print(
+                render_parse_error(exc, source_text, source_path),
+                file=sys.stderr,
+            )
+        return _structured_failure(args, exc)
     except _compiler_errors() as exc:
         return _structured_failure(args, exc)
 

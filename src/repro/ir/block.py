@@ -20,6 +20,8 @@ class BasicBlock:
 
     label: str
     instructions: List[Instruction] = field(default_factory=list)
+    #: 1-based source line of the ``LABEL:`` statement, if parsed.
+    line_no: Optional[int] = None
 
     def append(self, inst: Instruction) -> Instruction:
         validate_instruction(inst)

@@ -98,6 +98,9 @@ class Instruction:
         target: Branch target label for ``BR``/``CBR``.
         uid: A unique identifier, stable across renames, used as the node
             key in dependence DAGs.
+        line_no: 1-based source line this instruction was parsed from,
+            or ``None`` for synthesized instructions.  Excluded from
+            ``__str__`` so cache keys and signatures are unaffected.
     """
 
     op: Opcode
@@ -106,6 +109,7 @@ class Instruction:
     addr: Optional[Addr] = None
     target: Optional[str] = None
     uid: int = field(default_factory=_next_uid)
+    line_no: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Classification helpers.

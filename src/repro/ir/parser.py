@@ -172,10 +172,10 @@ def parse_program(source: str) -> Program:
     program = Program()
     current: Optional[BasicBlock] = None
 
-    def ensure_block() -> BasicBlock:
+    def ensure_block(line_no: int) -> BasicBlock:
         nonlocal current
         if current is None:
-            current = program.add_block(BasicBlock("L0"))
+            current = program.add_block(BasicBlock("L0", line_no=line_no))
         return current
 
     for line_no, raw in enumerate(source.splitlines(), start=1):
@@ -185,12 +185,16 @@ def parse_program(source: str) -> Program:
 
         label_match = _LABEL_RE.match(line)
         if label_match is not None:
-            current = program.add_block(BasicBlock(label_match.group(1)))
+            current = program.add_block(
+                BasicBlock(label_match.group(1), line_no=line_no)
+            )
             continue
 
-        block = ensure_block()
+        block = ensure_block(line_no)
         try:
-            block.append(_parse_statement(line, line_no, raw))
+            inst = _parse_statement(line, line_no, raw)
+            inst.line_no = line_no
+            block.append(inst)
         except ParseError:
             raise
         except ValueError as exc:

@@ -133,6 +133,7 @@ def compile_trace(
     verify_each: bool = False,
     resilient: bool = False,
     deadline: Optional[object] = None,
+    hints: Optional[object] = None,
     transactional: bool = False,
     incremental: bool = True,
     analysis_manager: Optional[AnalysisManager] = None,
@@ -162,6 +163,11 @@ def compile_trace(
     each commit and roll back transforms that regress excess or break
     the ``verify_each`` invariants.
 
+    ``hints`` (only consulted when ``resilient=True``) accepts a
+    :class:`repro.analyze.bounds.FeasibilityReport` from the static
+    analyzer; the ladder skips rungs the bounds prove doomed and fails
+    fast on globally infeasible traces (``docs/analysis.md``).
+
     ``incremental`` (default on) lets the URSA allocator score
     edges-only transform candidates in place via the ``repro.pm``
     transaction machinery instead of copying the DAG and re-running
@@ -180,6 +186,7 @@ def compile_trace(
             machine,
             method=method,
             deadline=deadline,
+            hints=hints,
             live_out=live_out,
             verify=verify,
             memory=memory,

@@ -234,6 +234,7 @@ def compile_with_fallback(
     method: str = "ursa",
     deadline: Optional[Deadline] = None,
     check_packs: bool = True,
+    hints=None,
     **kwargs,
 ):
     """Compile ``source``, escalating down the ladder until a rung yields
@@ -241,11 +242,30 @@ def compile_with_fallback(
 
     ``check_packs`` additionally runs ``verify_compilation`` (with
     remeasurement) on each rung's output and treats pack errors as a
-    reason to escalate.  Remaining keyword arguments are forwarded to
-    :func:`repro.pipeline.compile_trace` for every rung.
+    reason to escalate.  ``hints`` accepts a
+    :class:`repro.analyze.bounds.FeasibilityReport` for this trace on
+    this machine: a report that proves global infeasibility (live-in or
+    live-out set exceeds the register file) raises immediately instead
+    of burning the whole ladder, and rungs the static bounds prove
+    doomed (e.g. ``ursa-seq`` when the pressure floor already exceeds
+    the register file) are skipped with a ``skipped`` attempt — the
+    always-feasible last rung is never skipped.  Remaining keyword
+    arguments are forwarded to :func:`repro.pipeline.compile_trace`
+    for every rung.
     """
     from repro.pipeline import PipelineError, compile_trace
     from repro.verify import VerifyError, verify_compilation
+
+    doomed: Dict[str, str] = {}
+    if hints is not None:
+        if getattr(hints, "infeasible", False):
+            reasons = "; ".join(hints.infeasible_reasons())
+            obs.count("resilience.hint_infeasible")
+            raise PipelineError(
+                f"static analysis proves no method can compile this trace: "
+                f"{reasons}"
+            )
+        doomed = dict(hints.doomed_rungs())
 
     recoverable = (
         PipelineError,
@@ -271,6 +291,15 @@ def compile_with_fallback(
                 )
             )
             obs.count("resilience.fallback_skipped")
+            continue
+        if rung in doomed and not last:
+            attempts.append(
+                RungAttempt(
+                    rung, "skipped", f"static analysis: {doomed[rung]}"
+                )
+            )
+            obs.count("resilience.fallback_skipped")
+            obs.count("resilience.hint_skips")
             continue
 
         obs.count("resilience.fallback_attempts")

@@ -23,7 +23,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.graph.dag import DependenceDAG
-from repro.machine.model import MachineModel
+from repro.machine.model import MachineModel, default_reg_class
 from repro.resilience.budgets import DeadlineExpired, active_deadline
 
 
@@ -288,6 +288,6 @@ def _feasible_with(
         name=f"{machine.name}-probe{registers}",
         fu_classes=machine.fu_classes,
         registers={"gpr": registers},
-        reg_class_of=lambda name: "gpr",
+        reg_class_of=default_reg_class,
     )
     return optimal_schedule_length(dag, probe, max_ops=max_ops)

@@ -25,10 +25,18 @@ code       HTTP   meaning
 ========== ====== ================================================
 bad_request 400   malformed body, unknown method/kind/machine spec
 parse_error 400   the ursa-lang source does not parse
+ill_formed  422   static analysis rejected the source before compile
 compile_error 422 the pipeline rejected the program (verifier, ...)
 timeout     408   the deadline expired (non-resilient compiles)
 internal    500   unexpected server-side failure
 ========== ====== ================================================
+
+``ill_formed`` rejections are *admission control* (docs/analysis.md):
+``repro.analyze`` well-formedness errors fail the request with
+structured ``error.diagnostics`` and **no compiler invocation** — the
+``serve.analyze_reject`` counter tracks them.  ``kind: "analyze"``
+requests (or ``POST /v1/analyze``) run the analyzer alone and always
+return the full report, diagnostics and feasibility bounds included.
 
 Degraded-but-successful compiles stay ``ok: true`` and carry the
 structured :class:`~repro.resilience.fallback.DegradationReport` dict
@@ -48,6 +56,7 @@ from repro.serve.shard import _compile_one
 ERROR_STATUS = {
     "bad_request": 400,
     "parse_error": 400,
+    "ill_formed": 422,
     "compile_error": 422,
     "timeout": 408,
     "internal": 500,
@@ -63,6 +72,16 @@ class ProtocolError(Exception):
     def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
+
+
+class IllFormedError(ProtocolError):
+    """Admission control rejected the source; carries the diagnostics."""
+
+    def __init__(
+        self, message: str, diagnostics: List[Dict[str, Any]]
+    ) -> None:
+        super().__init__("ill_formed", message)
+        self.diagnostics = diagnostics
 
 
 def machine_from_spec(spec: Optional[Dict[str, Any]]) -> MachineModel:
@@ -106,13 +125,20 @@ def machine_from_spec(spec: Optional[Dict[str, Any]]) -> MachineModel:
     return MachineModel.homogeneous(fus, regs, latency=latency)
 
 
-def error_response(code: str, exc_type: str, message: str) -> Dict[str, Any]:
+def error_response(
+    code: str,
+    exc_type: str,
+    message: str,
+    diagnostics: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
     obs.count("serve.errors")
     obs.count(f"serve.error.{code}")
-    return {
-        "ok": False,
-        "error": {"code": code, "type": exc_type, "message": message},
+    error: Dict[str, Any] = {
+        "code": code, "type": exc_type, "message": message,
     }
+    if diagnostics is not None:
+        error["diagnostics"] = diagnostics
+    return {"ok": False, "error": error}
 
 
 def _classify_exception(exc: Exception) -> Tuple[str, str]:
@@ -162,7 +188,7 @@ def _options_of(request: Dict[str, Any]) -> Dict[str, Any]:
     if not isinstance(options, dict):
         raise ProtocolError("bad_request", "'options' must be an object")
     unknown = set(options) - {
-        "deadline_ms", "resilient", "verify", "seed", "memory",
+        "deadline_ms", "resilient", "verify", "seed", "memory", "bounds",
     }
     if unknown:
         raise ProtocolError(
@@ -193,14 +219,49 @@ def _memory_of(options: Dict[str, Any]) -> Dict[Tuple[str, int], int]:
     return memory
 
 
+def _parse_or_reject(source: str):
+    """Parse ursa-lang text, mapping failures to ``parse_error``."""
+    from repro.ir.parser import parse_program
+
+    try:
+        return parse_program(source)
+    except Exception as exc:
+        raise ProtocolError(
+            "parse_error",
+            str(exc).splitlines()[0] if str(exc) else "parse failed",
+        )
+
+
+def _admit(program, machine: MachineModel, source: str) -> None:
+    """Fast-reject ill-formed sources *before* any compile work.
+
+    Runs the ``repro.analyze`` well-formedness pack (CFG + liveness
+    only — no DAG build); error-severity findings abort the request
+    with structured diagnostics.  Warnings/info pass through: they are
+    legal programs (docs/analysis.md).
+    """
+    from repro.analyze import check_program
+
+    diagnostics = [
+        d for d in check_program(program, machine=machine, source=source)
+        if d.severity == "error"
+    ]
+    if diagnostics:
+        obs.count("serve.analyze_reject")
+        head = diagnostics[0]
+        raise IllFormedError(
+            f"{head.code}: {head.message}"
+            + (f" (+{len(diagnostics) - 1} more)" if len(diagnostics) > 1 else ""),
+            [d.to_dict() for d in diagnostics],
+        )
+
+
 def handle_trace_request(
     request: Dict[str, Any],
     cache: Optional[CompileCache],
     default_deadline_ms: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Compile one straight-line trace; memoized through ``cache``."""
-    from repro.ir.parser import parse_trace
-
     source = _require_source(request)
     method = _method_of(request)
     options = _options_of(request)
@@ -208,12 +269,14 @@ def handle_trace_request(
     deadline_ms = options.get("deadline_ms", default_deadline_ms)
     resilient = bool(options.get("resilient", False))
 
-    try:
-        instructions = parse_trace(source)
-    except Exception as exc:
+    parsed = _parse_or_reject(source)
+    if len(parsed.blocks) != 1:
         raise ProtocolError(
-            "parse_error", str(exc).splitlines()[0] if str(exc) else "parse failed"
+            "parse_error",
+            f"expected straight-line code, found {len(parsed.blocks)} blocks",
         )
+    _admit(parsed, machine, source)
+    instructions = list(parsed.blocks[0].instructions)
 
     extra = ("resilient",) if resilient else ()
     key = trace_key(instructions, machine, method, extra=extra)
@@ -271,7 +334,6 @@ def handle_program_request(
     jobs: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Compile (and run) a whole multi-block program."""
-    from repro.ir.parser import parse_program
     from repro.program_compiler import compile_program, verify_compiled_program
 
     source = _require_source(request)
@@ -280,12 +342,8 @@ def handle_program_request(
     machine = machine_from_spec(request.get("machine"))
     deadline_ms = options.get("deadline_ms", default_deadline_ms)
 
-    try:
-        program = parse_program(source)
-    except Exception as exc:
-        raise ProtocolError(
-            "parse_error", str(exc).splitlines()[0] if str(exc) else "parse failed"
-        )
+    program = _parse_or_reject(source)
+    _admit(program, machine, source)
 
     compiled = compile_program(
         program, machine, method=method,
@@ -313,6 +371,32 @@ def handle_program_request(
     return {"ok": True, "result": result}
 
 
+def handle_analyze_request(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Run the static analyzer alone; never invokes the compiler.
+
+    Unlike compile kinds, a source that fails to parse or is ill-formed
+    still returns ``ok: true`` — the report *is* the result, with
+    ``result.report.ok`` carrying the verdict (docs/analysis.md).
+    """
+    from repro.analyze import analyze_source
+
+    source = _require_source(request)
+    options = _options_of(request)
+    machine = machine_from_spec(request.get("machine"))
+    obs.count("serve.analyze_requests")
+    report = analyze_source(
+        source, machine=machine, bounds=bool(options.get("bounds", True))
+    )
+    return {
+        "ok": True,
+        "result": {
+            "kind": "analyze",
+            "machine": machine.describe(),
+            "report": report.to_dict(),
+        },
+    }
+
+
 def handle_single(
     request: Dict[str, Any],
     cache: Optional[CompileCache],
@@ -334,17 +418,25 @@ def handle_single(
                 response = handle_program_request(
                     request, cache, default_deadline_ms, jobs
                 )
+            elif kind == "analyze":
+                response = handle_analyze_request(request)
             else:
                 raise ProtocolError(
                     "bad_request",
-                    f"unknown kind {kind!r}; expected 'trace' or 'program'",
+                    f"unknown kind {kind!r}; expected 'trace', 'program', "
+                    "or 'analyze'",
                 )
         if "id" in request:
             response["id"] = request["id"]
         return response
     except Exception as exc:
         code, message = _classify_exception(exc)
-        response = error_response(code, type(exc).__name__, message)
+        response = error_response(
+            code,
+            type(exc).__name__,
+            message,
+            diagnostics=getattr(exc, "diagnostics", None),
+        )
         if isinstance(request, dict) and "id" in request:
             response["id"] = request["id"]
         return response

@@ -5,6 +5,8 @@ One process hosts:
 
 * ``POST /v1/compile`` — single or batch compile requests (see
   :mod:`repro.serve.protocol` and ``docs/serving.md``);
+* ``POST /v1/analyze`` — static analysis only: diagnostics + resource
+  lower bounds, never invokes the compiler (``docs/analysis.md``);
 * ``GET  /v1/stats``   — server-lifetime observability counters plus
   cache statistics;
 * ``GET  /v1/cache``   — the persistent store's stats alone;
@@ -78,6 +80,26 @@ class ServeApp:
             max_batch=self.max_batch,
         )
 
+    def analyze(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/analyze``: static analysis without compilation.
+
+        The route defaults ``kind`` to ``"analyze"`` so clients can post
+        bare ``{"source": ...}`` bodies; an explicit ``kind`` wins (and
+        anything other than ``"analyze"`` is rejected by dispatch).
+        """
+        if isinstance(payload, dict) and "requests" in payload:
+            requests = payload.get("requests")
+            if isinstance(requests, list):
+                payload = dict(payload)
+                payload["requests"] = [
+                    {"kind": "analyze", **entry}
+                    if isinstance(entry, dict) else entry
+                    for entry in requests
+                ]
+        elif isinstance(payload, dict):
+            payload = {"kind": "analyze", **payload}
+        return handle_payload(payload, None, max_batch=self.max_batch)
+
     def stats(self) -> Dict[str, Any]:
         counters = dict(sorted(self.observer.counters.items()))
         return {
@@ -136,7 +158,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802
-        if self.path != "/v1/compile":
+        if self.path not in ("/v1/compile", "/v1/analyze"):
             self._send(
                 404,
                 error_response("bad_request", "NotFound",
@@ -164,8 +186,12 @@ class _Handler(BaseHTTPRequestHandler):
                                f"body is not valid JSON: {exc}"),
             )
             return
+        route = (
+            self.app.analyze if self.path == "/v1/analyze"
+            else self.app.compile
+        )
         try:
-            status, body = self.app.compile(payload)
+            status, body = route(payload)
         except Exception as exc:  # handle_payload shields; belt+braces
             status, body = 500, error_response(
                 "internal", type(exc).__name__, str(exc)

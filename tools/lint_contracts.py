@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Static contract lint for ``src/repro`` (stdlib-only, AST-based).
+
+Three rules, each guarding an invariant the test suite cannot easily
+see because violations only bite in another process or another run:
+
+C001  MachineModel classifiers must be named module-level functions.
+      A ``lambda`` (or a function nested inside another function)
+      passed as ``reg_class_of`` cannot be pickled, which breaks the
+      serve worker pool and the persistent compile cache the moment
+      such a machine reaches them (see ``default_reg_class`` in
+      ``src/repro/machine/model.py``).
+
+C002  Instrumentation names must match the schema regex published in
+      ``docs/observability.md`` (the ``<!-- obs-name-schema: ... -->``
+      marker).  Checks every literal or f-string first argument of
+      ``obs.span`` / ``obs.count`` / ``obs.peak`` / ``obs.event``;
+      f-string placeholders are replaced with ``x`` before matching,
+      so ``f"serve.error.{code}"`` is checked as ``serve.error.x``.
+
+C003  Every ``TransformCandidate(kind="...")`` literal must have a
+      matching ``register_contract("...", ...)`` somewhere in the
+      tree.  A kind without a registered EDGES_ONLY /
+      INVALIDATES_ALL contract silently falls back to the
+      conservative default and defeats incremental trial measurement
+      (see ``src/repro/core/transforms/base.py`` and docs/passes.md).
+
+Usage::
+
+    python tools/lint_contracts.py [--root DIR]
+
+Prints ``file:line: CODE: message`` per finding and exits non-zero if
+any were produced.  Wired into CI (`analyze-smoke`) and exercised by
+``tests/test_analyze.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OBS_METHODS = {"span", "count", "peak", "event"}
+SCHEMA_MARKER = re.compile(r"<!--\s*obs-name-schema:\s*(?P<rx>.+?)\s*-->")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, code: str, message: str):
+        self.path = path
+        self.line = line
+        self.code = code
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code}: {self.message}"
+
+
+def load_name_schema(root: Path) -> re.Pattern:
+    """Extract the obs-name regex from docs/observability.md."""
+    doc = root / "docs" / "observability.md"
+    match = SCHEMA_MARKER.search(doc.read_text(encoding="utf-8"))
+    if match is None:
+        raise SystemExit(
+            f"{doc}: missing '<!-- obs-name-schema: ... -->' marker; "
+            "the instrumentation-name schema must be published there"
+        )
+    return re.compile(match.group("rx"))
+
+
+def python_files(root: Path) -> Iterator[Path]:
+    yield from sorted((root / "src" / "repro").rglob("*.py"))
+
+
+# ----------------------------------------------------------------------
+# C001: pickle-hostile MachineModel classifiers.
+# ----------------------------------------------------------------------
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _nested_function_names(tree: ast.Module) -> set:
+    """Names of functions defined anywhere below module level."""
+    nested = set()
+    for outer in ast.walk(tree):
+        if isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(outer):
+                if inner is outer:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(inner.name)
+    return nested
+
+
+def lint_classifiers(path: Path, tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+    nested = _nested_function_names(tree)
+
+    def classifier_args(call: ast.Call) -> Iterator[ast.expr]:
+        for kw in call.keywords:
+            if kw.arg == "reg_class_of":
+                yield kw.value
+        # MachineModel(name, fu_classes, registers, reg_class_of)
+        if _call_name(call) == "MachineModel" and len(call.args) >= 4:
+            yield call.args[3]
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for value in classifier_args(node):
+            if isinstance(value, ast.Lambda):
+                findings.append(Finding(
+                    path, value.lineno, "C001",
+                    "lambda passed as MachineModel classifier "
+                    "(reg_class_of); lambdas cannot be pickled, which "
+                    "breaks the serve worker pool and compile cache — "
+                    "use a named module-level function "
+                    "(e.g. default_reg_class)",
+                ))
+            elif isinstance(value, ast.Name) and value.id in nested:
+                findings.append(Finding(
+                    path, value.lineno, "C001",
+                    f"closure {value.id!r} passed as MachineModel "
+                    "classifier (reg_class_of); nested functions cannot "
+                    "be pickled — hoist it to module level",
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# C002: instrumentation names vs the published schema.
+# ----------------------------------------------------------------------
+def _literal_name(node: ast.expr) -> Optional[str]:
+    """A checkable rendering of an obs-name argument, or None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            else:  # FormattedValue: any substitution is one segment
+                parts.append("x")
+        return "".join(parts)
+    return None
+
+
+def lint_obs_names(
+    path: Path, tree: ast.Module, schema: re.Pattern
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        is_obs_call = (
+            isinstance(func, ast.Attribute)
+            and func.attr in OBS_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "obs"
+        )
+        if not is_obs_call:
+            continue
+        name = _literal_name(node.args[0])
+        if name is None:
+            continue  # dynamic name; not statically checkable
+        if schema.fullmatch(name) is None:
+            findings.append(Finding(
+                path, node.lineno, "C002",
+                f"obs.{func.attr} name {name!r} does not match the "
+                f"schema {schema.pattern!r} published in "
+                "docs/observability.md",
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# C003: transform kinds without a registered invalidation contract.
+# ----------------------------------------------------------------------
+def collect_registered_kinds(root: Path) -> set:
+    kinds = set()
+    for path in python_files(root):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and _call_name(node) == "register_contract"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                kinds.add(node.args[0].value)
+    return kinds
+
+
+def lint_transform_kinds(
+    path: Path, tree: ast.Module, registered: set
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if (
+            not isinstance(node, ast.Call)
+            or _call_name(node) != "TransformCandidate"
+        ):
+            continue
+        for kw in node.keywords:
+            if kw.arg != "kind":
+                continue
+            if not (
+                isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, str)
+            ):
+                continue  # dynamic kind; not statically checkable
+            kind = kw.value.value
+            if kind not in registered:
+                findings.append(Finding(
+                    path, node.lineno, "C003",
+                    f"TransformCandidate kind {kind!r} has no "
+                    "register_contract(...) registration; without an "
+                    "EDGES_ONLY/INVALIDATES_ALL contract the pass "
+                    "manager falls back to full invalidation",
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+def run(root: Path) -> List[Finding]:
+    schema = load_name_schema(root)
+    registered = collect_registered_kinds(root)
+    findings: List[Finding] = []
+    for path in python_files(root):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        rel = path.relative_to(root)
+        findings.extend(lint_classifiers(rel, tree))
+        findings.extend(lint_obs_names(rel, tree, schema))
+        findings.extend(lint_transform_kinds(rel, tree, registered))
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=REPO_ROOT,
+        help="repository root (default: inferred from this file)",
+    )
+    args = parser.parse_args(argv)
+    findings = run(args.root.resolve())
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_contracts: {len(findings)} finding(s)")
+        return 1
+    print("lint_contracts: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
