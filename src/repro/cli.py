@@ -373,6 +373,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         max_batch=args.max_batch,
         quiet=not args.verbose,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        drain_timeout_s=args.drain_timeout,
     )
     return 0
 
@@ -398,10 +401,16 @@ def cmd_cache(args: argparse.Namespace) -> int:
         outcome = cache.gc(
             max_bytes=args.max_bytes, max_age_days=args.max_age_days
         )
-        print(
-            f"gc: removed {outcome['removed']}, "
-            f"remaining {outcome['remaining']}"
-        )
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(outcome))
+        else:
+            print(
+                f"gc: removed {outcome['removed']} "
+                f"({outcome['removed_bytes']} bytes), "
+                f"remaining {outcome['remaining']}"
+            )
         return 0
     removed = cache.clear()
     print(f"clear: removed {removed} entries from {cache.root}")
@@ -554,7 +563,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--jobs", type=int, metavar="N",
-        help="worker processes for program requests (default: serial)",
+        help="per-request worker processes for program requests "
+             "(default: serial; superseded by --workers)",
+    )
+    p.add_argument(
+        "--workers", type=int, metavar="N",
+        help="persistent supervised worker pool: fork N workers once at "
+             "start, keep them warm, restart on crash/hang/memory "
+             "watermark (docs/serving.md)",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=32, metavar="N",
+        help="admission watermark: concurrent requests beyond N are shed "
+             "with 503 + Retry-After (default 32)",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="seconds to wait for in-flight requests on SIGTERM before "
+             "flushing and exiting (default 10)",
     )
     p.add_argument(
         "--deadline-ms", type=float, metavar="MS",

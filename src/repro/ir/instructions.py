@@ -83,6 +83,18 @@ def _next_uid() -> int:
     return _UID_COUNTER[0]
 
 
+def ensure_uid_floor(floor: int) -> None:
+    """Advance the uid counter to at least ``floor``.
+
+    Uids are process-local.  A worker that receives pickled instructions
+    from another process (``repro.serve.pool``) must lift its counter
+    past their uids before synthesizing new instructions, or fresh uids
+    collide with the received ones and corrupt DAG node identity.
+    """
+    if _UID_COUNTER[0] < floor:
+        _UID_COUNTER[0] = floor
+
+
 @dataclass
 class Instruction:
     """One three-address instruction.

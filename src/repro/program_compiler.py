@@ -255,6 +255,7 @@ def compile_program(
     cache: object = None,
     deadline_ms: Optional[float] = None,
     resilient: bool = False,
+    pool: Optional[object] = None,
 ) -> CompiledProgram:
     """Compile every trace of ``program`` for ``machine``.
 
@@ -279,6 +280,11 @@ def compile_program(
       ``repro.resilience`` fallback ladder inside each shard.  With a
       deadline the persistent cache is bypassed (best-so-far output is
       time-dependent, so it must not be memoized).
+    * ``pool`` — a persistent :class:`repro.serve.pool.WorkerPool`:
+      cache-missing traces are dispatched to its warm supervised
+      workers instead of forking a fresh per-request pool (preferred
+      over ``jobs`` when both are given; degrades to the ``jobs`` /
+      serial path if the pool cannot run).
 
     Both paths are bit-identical to the plain serial compile (compare
     :func:`repro.serve.program_signature` per trace).
@@ -288,7 +294,7 @@ def compile_program(
     program.validate()
     traces = entry_safe_traces(program, max_trace_blocks=max_trace_blocks)
     prepared_list = [prepare_trace(program, trace) for trace in traces]
-    parallel = jobs is not None and jobs > 1
+    parallel = (jobs is not None and jobs > 1) or pool is not None
 
     if cache is None and not parallel and deadline_ms is None and not resilient:
         # The classic serial path: no serve machinery touched at all.
@@ -317,6 +323,7 @@ def compile_program(
     return _compile_program_serve(
         program, machine, method, prepared_list,
         jobs=jobs, cache=cache, deadline_ms=deadline_ms, resilient=resilient,
+        pool=pool,
     )
 
 
@@ -329,6 +336,7 @@ def _compile_program_serve(
     cache: object,
     deadline_ms: Optional[float],
     resilient: bool,
+    pool: Optional[object] = None,
 ) -> CompiledProgram:
     """The cached/sharded compile path (``docs/serving.md``)."""
     from repro import obs
@@ -361,7 +369,15 @@ def _compile_program_serve(
     fresh_keys: List[str] = []
     if pending:
         shards = None
-        if jobs is not None and jobs > 1 and len(pending) > 1:
+        if pool is not None:
+            # Warm supervised pool: no per-request fork cost, and worker
+            # crashes/hangs are recovered inside map_shards (None means
+            # the pool itself cannot run — fall through).
+            shards = pool.map_shards(
+                pending, machine, method,
+                deadline_ms=deadline_ms, resilient=resilient,
+            )
+        if shards is None and jobs is not None and jobs > 1 and len(pending) > 1:
             shards = compile_shards(
                 pending, machine, method, jobs,
                 deadline_ms=deadline_ms, resilient=resilient,

@@ -22,7 +22,12 @@ from repro.resilience.budgets import (
     active_deadline,
     deadline_scope,
 )
-from repro.resilience.chaos import FAULT_CLASSES, ChaosMonkey, chaos_scope
+from repro.resilience.chaos import (
+    FAULT_CLASSES,
+    SERVICE_FAULTS,
+    ChaosMonkey,
+    chaos_scope,
+)
 from repro.resilience.checkpoint import DagCheckpoint, RollbackError, guarded_apply
 
 __all__ = [
@@ -33,6 +38,7 @@ __all__ = [
     "DegradationReport",
     "FAULT_CLASSES",
     "RollbackError",
+    "SERVICE_FAULTS",
     "active_deadline",
     "chaos_scope",
     "compile_with_fallback",

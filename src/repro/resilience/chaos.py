@@ -32,6 +32,22 @@ Fault classes:
 ``deadline``
     Force the active :class:`~repro.resilience.budgets.Deadline` to
     trip early via the budgets expiry hook.
+
+Service-level fault classes (PR 9, consumed by ``repro.serve.pool``
+and the serve admission layer — see ``docs/serving.md``):
+
+``worker_kill``
+    SIGKILL a pool worker right after a shard is dispatched to it; the
+    supervisor must requeue the shard and restart the worker.
+``worker_hang``
+    Wedge a worker (sleep far past the hang watchdog); the supervisor
+    must SIGKILL it and requeue the shard.
+``slow_shard``
+    Inject a small latency into a shard without wedging it (exercises
+    the watchdog's non-firing path and batch reordering).
+``queue_flood``
+    Make admission control believe the request queue is over its
+    watermark; the server must shed with 503 + ``Retry-After``.
 """
 
 from __future__ import annotations
@@ -43,7 +59,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro import obs
 from repro.resilience import budgets
 
-FAULT_CLASSES = ("transform", "measure", "kill", "deadline")
+#: Compiler-level faults (PR 4) + service-level faults (PR 9).
+FAULT_CLASSES = (
+    "transform",
+    "measure",
+    "kill",
+    "deadline",
+    "worker_kill",
+    "worker_hang",
+    "slow_shard",
+    "queue_flood",
+)
+
+#: The subset consumed by the serving layer (pool + admission control).
+SERVICE_FAULTS = ("worker_kill", "worker_hang", "slow_shard", "queue_flood")
 
 #: Per-expiry-check probability scale for the ``deadline`` fault: the
 #: hook runs on *every* ``Deadline.expired()`` call, so the raw rate
@@ -188,6 +217,36 @@ class ChaosMonkey:
         self._log("deadline", ticks=deadline.ticks)
         return True
 
+    # -- service-level faults (consumed by repro.serve) ----------------
+    def kill_worker(self, worker=None, key=None) -> bool:
+        """SIGKILL the worker a shard was just dispatched to."""
+        if not self._fire("worker_kill"):
+            return False
+        self._log("worker_kill", worker=worker, key=key)
+        return True
+
+    def hang_worker(self, worker=None, key=None) -> bool:
+        """Wedge a worker past the hang watchdog."""
+        if not self._fire("worker_hang"):
+            return False
+        self._log("worker_hang", worker=worker, key=key)
+        return True
+
+    def shard_delay(self) -> float:
+        """Seconds of injected shard latency (0.0 = no injection)."""
+        if not self._fire("slow_shard"):
+            return 0.0
+        delay = round(self.rng.uniform(0.01, 0.05), 4)
+        self._log("slow_shard", seconds=delay)
+        return delay
+
+    def flood_queue(self) -> bool:
+        """Pretend the request queue is over its admission watermark."""
+        if not self._fire("queue_flood"):
+            return False
+        self._log("queue_flood")
+        return True
+
 
 # ======================================================================
 # Scope management (same innermost-wins stack as budgets/obs).
@@ -237,3 +296,31 @@ def corrupt_kill(dag, values, kill: Dict[str, int]) -> bool:
     if monkey is None:
         return False
     return monkey.corrupt_kill(dag, values, kill)
+
+
+def service_kill_worker(worker=None, key=None) -> bool:
+    monkey = active()
+    if monkey is None:
+        return False
+    return monkey.kill_worker(worker=worker, key=key)
+
+
+def service_hang_worker(worker=None, key=None) -> bool:
+    monkey = active()
+    if monkey is None:
+        return False
+    return monkey.hang_worker(worker=worker, key=key)
+
+
+def service_shard_delay() -> float:
+    monkey = active()
+    if monkey is None:
+        return 0.0
+    return monkey.shard_delay()
+
+
+def service_flood_queue() -> bool:
+    monkey = active()
+    if monkey is None:
+        return False
+    return monkey.flood_queue()

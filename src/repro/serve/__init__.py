@@ -10,8 +10,13 @@ Three layers, each usable alone (tour in ``docs/serving.md``):
 * :mod:`repro.serve.shard` — sharded parallel compilation: a program's
   traces fanned over a ``multiprocessing`` pool (``jobs=N``), bit-
   identical to the serial path and degrading to it gracefully.
+* :mod:`repro.serve.pool` / :mod:`repro.serve.supervisor` — the
+  persistent supervised :class:`WorkerPool` behind ``repro serve
+  --workers``: forked once, kept warm, crash/hang/memory-recovered,
+  with poisoned-trace quarantine.
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` — a long-lived
-  stdlib-HTTP compile service (``repro serve``) and its client.
+  stdlib-HTTP compile service (``repro serve``) and its client, with
+  admission control, graceful drain, and client-side retry/backoff.
 
 Server/client/protocol are imported lazily so that importing
 ``repro.serve`` from inside the compiler (``program_compiler`` uses
@@ -43,6 +48,9 @@ __all__ = [
     "ServeApp",
     "ServeClient",
     "ServeError",
+    "WorkerPool",
+    "RestartPolicy",
+    "QuarantineRegistry",
     "make_server",
     "serve_forever",
     "handle_payload",
@@ -55,6 +63,9 @@ _LAZY = {
     "serve_forever": "repro.serve.server",
     "ServeClient": "repro.serve.client",
     "ServeError": "repro.serve.client",
+    "WorkerPool": "repro.serve.pool",
+    "RestartPolicy": "repro.serve.supervisor",
+    "QuarantineRegistry": "repro.serve.supervisor",
     "handle_payload": "repro.serve.protocol",
     "machine_from_spec": "repro.serve.protocol",
 }

@@ -324,28 +324,42 @@ class CompileCache:
         max_bytes: Optional[int] = None,
         max_age_days: Optional[float] = None,
     ) -> Dict[str, int]:
-        """Evict by age, then oldest-first down to a size budget."""
+        """Evict by age, then oldest-first down to a size budget.
+
+        Eviction order is deterministic: ``(mtime, object name)``, so
+        two stores with identical contents gc identically regardless of
+        directory enumeration order or object sizes.  Each gc eviction
+        bumps ``serve.cache.gc_evicted`` (on top of the generic
+        ``serve.cache_evict``).
+        """
         removed = 0
-        objects = [(p.stat().st_mtime, p.stat().st_size, p)
+        removed_bytes = 0
+        objects = [(p.stat().st_mtime, p.name, p.stat().st_size, p)
                    for p in self._objects()]
-        objects.sort()  # oldest first
+        objects.sort(key=lambda entry: entry[:2])  # oldest first, then name
         now = time.time()
         survivors = []
-        for mtime, size, path in objects:
+        for mtime, _name, size, path in objects:
             if max_age_days is not None and now - mtime > max_age_days * 86400:
-                self._evict(path)
+                self._evict(path, gc=True)
                 removed += 1
+                removed_bytes += size
             else:
-                survivors.append((mtime, size, path))
+                survivors.append((size, path))
         if max_bytes is not None:
-            total = sum(size for _, size, _ in survivors)
-            for _, size, path in survivors:
+            total = sum(size for size, _ in survivors)
+            for size, path in survivors:
                 if total <= max_bytes:
                     break
-                self._evict(path)
+                self._evict(path, gc=True)
                 total -= size
                 removed += 1
-        return {"removed": removed, "remaining": len(self._objects())}
+                removed_bytes += size
+        return {
+            "removed": removed,
+            "removed_bytes": removed_bytes,
+            "remaining": len(self._objects()),
+        }
 
     def clear(self) -> int:
         """Remove every stored object (and the memory memo)."""
@@ -357,11 +371,13 @@ class CompileCache:
             self._memo.clear()
         return removed
 
-    def _evict(self, path: Path) -> None:
+    def _evict(self, path: Path, gc: bool = False) -> None:
         try:
             path.unlink()
             self.evictions += 1
             obs.count("serve.cache_evict")
+            if gc:
+                obs.count("serve.cache.gc_evicted")
         except OSError:
             pass
 

@@ -8,14 +8,24 @@
 
 Errors come back as :class:`ServeError` carrying the structured
 ``error`` object (code/type/message) from the server.
+
+Retries: every request in this protocol is idempotent (compilation is
+pure), so the client transparently retries connection resets and 503
+load-shed/drain responses with jittered exponential backoff, honoring
+the server's ``Retry-After`` header.  ``max_retries`` bounds the
+budget; the lifetime retry count is surfaced as the ``client.retries``
+field of :meth:`stats`.  Liveness probes (:meth:`health`) never retry.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 class ServeError(Exception):
@@ -30,17 +40,68 @@ class ServeError(Exception):
         self.error = error
 
 
+class _Retryable(Exception):
+    """Internal: wraps a failure the retry loop may absorb."""
+
+    def __init__(self, error: Exception, retry_after: Optional[float] = None):
+        super().__init__(str(error))
+        self.error = error
+        self.retry_after = retry_after
+
+
+def _retry_after_of(headers) -> Optional[float]:
+    if headers is None:
+        return None
+    value = headers.get("Retry-After")
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except (TypeError, ValueError):
+        return None
+
+
 class ServeClient:
     """Talks to one ``repro serve`` endpoint."""
 
-    def __init__(self, base_url: str = "http://127.0.0.1:8377",
-                 timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8377",
+        timeout: float = 60.0,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        #: Lifetime count of retried attempts (all requests).
+        self.retries = 0
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str,
-                 payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    def _backoff_delay(
+        self, attempt: int, retry_after: Optional[float]
+    ) -> float:
+        """Jittered exponential backoff, floored by ``Retry-After``.
+
+        The cap applies after the floor so test configurations with a
+        tiny ``backoff_cap_s`` stay fast even against ``Retry-After: 1``.
+        """
+        base = self.backoff_base_s * (2.0 ** attempt)
+        delay = base * (0.5 + self._rng.random() / 2.0)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return min(delay, self.backoff_cap_s)
+
+    def _once(self, method: str, path: str,
+              payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One attempt; raises :class:`_Retryable` for absorbable faults."""
         url = f"{self.base_url}{path}"
         data = None
         headers = {}
@@ -55,16 +116,39 @@ class ServeClient:
                 body = json.loads(resp.read().decode())
                 status = resp.status
         except urllib.error.HTTPError as exc:
+            retry_after = _retry_after_of(exc.headers)
             try:
                 body = json.loads(exc.read().decode())
             except Exception:
-                raise ServeError(
-                    {"code": "internal", "message": str(exc)}, exc.code
-                ) from exc
-            status = exc.code
+                body = None
+            error = ServeError(
+                (body or {}).get("error", {"code": "internal",
+                                           "message": str(exc)}),
+                exc.code,
+            )
+            if exc.code == 503:
+                raise _Retryable(error, retry_after) from exc
+            raise error from exc
+        except (urllib.error.URLError, ConnectionError,
+                http.client.HTTPException, TimeoutError) as exc:
+            raise _Retryable(exc) from exc
         if isinstance(body, dict) and body.get("ok") is False:
             raise ServeError(body.get("error", {}), status)
         return body
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None,
+                 retry: bool = True) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self._once(method, path, payload)
+            except _Retryable as failure:
+                if not retry or attempt >= self.max_retries:
+                    raise failure.error from failure
+                self._sleep(self._backoff_delay(attempt, failure.retry_after))
+                attempt += 1
+                self.retries += 1
 
     # ------------------------------------------------------------------
     def compile_trace(
@@ -111,13 +195,32 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        return self._request("GET", "/v1/stats")
+        body = self._request("GET", "/v1/stats")
+        if isinstance(body, dict):
+            body["client"] = {
+                "retries": self.retries,
+                "max_retries": self.max_retries,
+            }
+        return body
 
     def cache_stats(self) -> Optional[Dict[str, Any]]:
         return self._request("GET", "/v1/cache")["cache"]
 
     def health(self) -> bool:
+        """Liveness probe; never retries (a probe must not mask faults)."""
         try:
-            return bool(self._request("GET", "/healthz").get("ok"))
-        except (ServeError, OSError):
+            body = self._request("GET", "/healthz", retry=False)
+            return bool(body.get("ok"))
+        except (ServeError, OSError, http.client.HTTPException):
             return False
+
+    def health_detail(self) -> Dict[str, Any]:
+        """Full ``/healthz`` body (status + workers); never retries.
+
+        A draining server answers 503 with ``status="draining"`` — that
+        body is returned rather than raised so probes can render it.
+        """
+        try:
+            return self._request("GET", "/healthz", retry=False)
+        except ServeError as exc:
+            return {"ok": False, "status": exc.code, "error": exc.error}

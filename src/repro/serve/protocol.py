@@ -59,6 +59,8 @@ ERROR_STATUS = {
     "ill_formed": 422,
     "compile_error": 422,
     "timeout": 408,
+    "overloaded": 503,
+    "draining": 503,
     "internal": 500,
 }
 
@@ -332,9 +334,13 @@ def handle_program_request(
     cache: Optional[CompileCache],
     default_deadline_ms: Optional[float] = None,
     jobs: Optional[int] = None,
+    pool: Optional[object] = None,
 ) -> Dict[str, Any]:
     """Compile (and run) a whole multi-block program."""
+    import hashlib
+
     from repro.program_compiler import compile_program, verify_compiled_program
+    from repro.serve.cache import program_signature
 
     source = _require_source(request)
     method = _method_of(request)
@@ -349,12 +355,23 @@ def handle_program_request(
         program, machine, method=method,
         jobs=jobs, cache=cache, deadline_ms=deadline_ms,
         resilient=bool(options.get("resilient", False)),
+        pool=pool,
     )
+    # Per-trace digests of the uid-free program rendering: lets clients
+    # (and the serve-chaos CI smoke) assert bit-identity of two compiles
+    # without shipping the full program text twice.
+    signatures = {
+        head: hashlib.sha256(
+            program_signature(trace.program).encode()
+        ).hexdigest()[:16]
+        for head, trace in sorted(compiled.traces.items())
+    }
     result: Dict[str, Any] = {
         "kind": "program",
         "method": method,
         "machine": machine.describe(),
         "traces": sorted(compiled.traces),
+        "signatures": signatures,
         "static_ops": compiled.total_static_ops(),
         "cache": {
             "hits": compiled.cache_hits,
@@ -402,6 +419,7 @@ def handle_single(
     cache: Optional[CompileCache],
     default_deadline_ms: Optional[float] = None,
     jobs: Optional[int] = None,
+    pool: Optional[object] = None,
 ) -> Dict[str, Any]:
     """Dispatch one request dict; never raises."""
     try:
@@ -416,7 +434,7 @@ def handle_single(
                 )
             elif kind == "program":
                 response = handle_program_request(
-                    request, cache, default_deadline_ms, jobs
+                    request, cache, default_deadline_ms, jobs, pool
                 )
             elif kind == "analyze":
                 response = handle_analyze_request(request)
@@ -448,6 +466,7 @@ def handle_payload(
     default_deadline_ms: Optional[float] = None,
     jobs: Optional[int] = None,
     max_batch: int = DEFAULT_MAX_BATCH,
+    pool: Optional[object] = None,
 ) -> Tuple[int, Dict[str, Any]]:
     """One decoded JSON body -> ``(http_status, response_body)``.
 
@@ -472,12 +491,12 @@ def handle_payload(
         obs.count("serve.batch_requests")
         obs.count("serve.batched_entries", len(requests))
         responses: List[Dict[str, Any]] = [
-            handle_single(entry, cache, default_deadline_ms, jobs)
+            handle_single(entry, cache, default_deadline_ms, jobs, pool)
             for entry in requests
         ]
         return 200, {"responses": responses}
 
-    response = handle_single(payload, cache, default_deadline_ms, jobs)
+    response = handle_single(payload, cache, default_deadline_ms, jobs, pool)
     if response.get("ok"):
         return 200, response
     return ERROR_STATUS.get(response["error"]["code"], 500), response

@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""End-to-end chaos smoke for the supervised serve worker pool (CI).
+
+Boots a real ``repro serve`` process with a 2-worker persistent pool,
+then drives the PR 9 recovery story over plain HTTP:
+
+1. compile a multi-trace program and record its per-trace
+   ``signatures`` (sha256 digests of the uid-free program renderings);
+2. SIGKILL one pool worker at the OS level, then fire the next request
+   before the pool has noticed — the batch dispatches a shard straight
+   to the corpse, exercising the mid-shard death/requeue path;
+3. assert the request still completes with **bit-identical**
+   signatures, and that ``/v1/stats`` shows the supervisor noticed —
+   at least one worker death, then (after backoff) a restart that
+   brings the pool back to full strength;
+4. SIGTERM the server and assert it drains gracefully (exit code 0).
+
+Stdlib only; run from the repo root::
+
+    PYTHONPATH=src python tools/serve_chaos_smoke.py
+
+Exits non-zero (with a diagnostic on stderr) on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+
+PROGRAM_SRC = """\
+start:
+  n = 6
+  i = 0
+loop:
+  x = load [v]
+  s = x + i
+  store [w], s
+  i = i + 1
+  c = i < n
+  if c goto loop
+done:
+  halt
+"""
+
+MACHINE = {"fus": 2, "regs": 4}
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def wait_healthy(client: ServeClient, timeout_s: float = 20.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if client.health():
+            return
+        time.sleep(0.2)
+    fail(f"server did not become healthy within {timeout_s}s")
+
+
+def worker_pids(client: ServeClient) -> list:
+    stats = client.stats()
+    pool = stats.get("pool")
+    if not pool:
+        fail("/v1/stats has no pool section — server not running --workers?")
+    pids = [w["pid"] for w in pool["workers"] if w["alive"] and w["pid"]]
+    if len(pids) < 2:
+        fail(f"expected 2 live workers, stats shows {pids}")
+    return pids
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--port", type=int, default=8390)
+    parser.add_argument("--boot-timeout", type=float, default=20.0)
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(args.port), "--workers", "2", "--no-cache",
+            "--drain-timeout", "10",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        client = ServeClient(
+            f"http://127.0.0.1:{args.port}", timeout=60.0,
+            max_retries=5, backoff_base_s=0.1, backoff_cap_s=1.0,
+        )
+        wait_healthy(client, args.boot_timeout)
+
+        detail = client.health_detail()
+        if detail.get("status") != "ok" or not detail.get("workers"):
+            fail(f"healthz not ok with workers: {detail}")
+
+        # 1. Baseline signatures from an undisturbed compile.
+        baseline = client.compile_program(
+            PROGRAM_SRC, machine=MACHINE, memory={"v": 5}
+        )
+        if not baseline.get("verified"):
+            fail(f"baseline compile did not verify: {baseline}")
+        if not baseline.get("signatures"):
+            fail("baseline result has no signatures field")
+
+        pids = worker_pids(client)
+        victim = pids[0]
+
+        # 2. SIGKILL one worker, then immediately fire the next request.
+        # The pool still believes the slot is alive, so the batch
+        # dispatches a shard to the corpse — exactly the mid-shard
+        # death path: the reaper must notice, requeue the shard on the
+        # survivor, and the request must complete bit-identically.
+        try:
+            os.kill(victim, signal.SIGKILL)
+        except ProcessLookupError:
+            fail(f"worker pid {victim} vanished before the kill")
+        survivor = client.compile_program(
+            PROGRAM_SRC, machine=MACHINE, memory={"v": 5}
+        )
+
+        # 3a. Bit-identity across the crash.
+        if survivor["signatures"] != baseline["signatures"]:
+            fail(
+                "signatures diverged after worker kill: "
+                f"{baseline['signatures']} vs {survivor['signatures']}"
+            )
+        if not survivor.get("verified"):
+            fail("post-kill compile did not verify")
+        pool = client.stats()["pool"]
+        if pool["deaths"] < 1:
+            fail(f"stats shows no worker death after SIGKILL: {pool}")
+
+        # 3b. Once the restart backoff expires, the next request must
+        # bring the slot back: the supervisor restarts it on dispatch.
+        time.sleep(0.5)
+        after = client.compile_program(
+            PROGRAM_SRC, machine=MACHINE, memory={"v": 5}
+        )
+        if after["signatures"] != baseline["signatures"]:
+            fail("signatures diverged after worker restart")
+        pool = client.stats()["pool"]
+        if pool["restarts"] < 1:
+            fail(f"stats shows no restart after the kill: {pool}")
+        if not pool["healthy"]:
+            fail(f"pool unhealthy after one kill: {pool}")
+        if pool["alive"] < 2:
+            fail(f"dead slot was not respawned: {pool}")
+        print(
+            "chaos kill absorbed: "
+            f"deaths={pool['deaths']} restarts={pool['restarts']} "
+            f"alive={pool['alive']}/{pool['size']}, signatures bit-identical"
+        )
+
+        # 4. Graceful drain on SIGTERM.
+        server.send_signal(signal.SIGTERM)
+        try:
+            code = server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            fail("server did not exit within 30s of SIGTERM")
+        if code != 0:
+            output = server.stdout.read() if server.stdout else ""
+            fail(f"server exited {code} after SIGTERM:\n{output}")
+        print("graceful drain OK: server exited 0 on SIGTERM")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
