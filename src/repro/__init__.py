@@ -32,6 +32,7 @@ from repro.ir import (
     parse_trace,
 )
 from repro.machine import MachineModel, VLIWProgram, VLIWSimulator
+from repro.methods import Backend, UnknownMethodError, backends, resolve
 from repro.pipeline import (
     METHODS,
     CompilationResult,
@@ -55,6 +56,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AllocationResult",
+    "Backend",
     "ChaosMonkey",
     "CompilationResult",
     "CompileCache",
@@ -72,6 +74,7 @@ __all__ = [
     "Schedule",
     "TraceBuilder",
     "URSAAllocator",
+    "UnknownMethodError",
     "VLIWProgram",
     "CompiledProgram",
     "ProgramRunResult",
@@ -79,6 +82,7 @@ __all__ = [
     "verify_compiled_program",
     "VLIWSimulator",
     "allocate",
+    "backends",
     "build_dag",
     "compare_methods",
     "compile_trace",
@@ -88,5 +92,6 @@ __all__ = [
     "obs",
     "parse_program",
     "parse_trace",
+    "resolve",
     "synthesize_memory",
 ]

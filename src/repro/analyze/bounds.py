@@ -308,16 +308,30 @@ class FeasibilityReport:
         return reasons
 
     def doomed_rungs(self) -> Dict[str, str]:
-        """Ladder rungs static analysis proves cannot succeed."""
+        """Ladder rungs static analysis proves cannot succeed.
+
+        Capability-driven: a pressure floor above the register file
+        dooms every backend that declares ``can_spill=False`` in
+        ``repro.methods`` (``ursa-seq``, ``bnb-exact``, ...) — no
+        amount of sequentialization or search avoids spill code the
+        backend is not allowed to emit.  Always-feasible terminal rungs
+        are never doomed.
+        """
+        from repro.methods import backends
+
         doomed: Dict[str, str] = {}
         for bound in self.registers.values():
-            if bound.forces_spill:
-                doomed["ursa-seq"] = (
-                    f"register class {bound.cls!r} pressure floor "
-                    f"{bound.pressure_floor} > {bound.available} available; "
-                    "sequentialization alone cannot fit"
-                )
-                break
+            if not bound.forces_spill:
+                continue
+            reason = (
+                f"register class {bound.cls!r} pressure floor "
+                f"{bound.pressure_floor} > {bound.available} available; "
+                "a backend that cannot spill cannot fit"
+            )
+            for backend in backends():
+                if not backend.can_spill and not backend.always_feasible:
+                    doomed.setdefault(backend.name, reason)
+            break
         return doomed
 
     def predictions(self) -> List[str]:

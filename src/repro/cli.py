@@ -34,7 +34,8 @@ from repro.graph.dag import DependenceDAG
 from repro.ir.parser import parse_program, parse_trace
 from repro.ir.printer import format_table, format_trace
 from repro.machine.model import MachineModel
-from repro.pipeline import METHODS, compare_methods, compile_trace
+from repro.methods import default_compare_methods, method_names, resolve
+from repro.pipeline import compare_methods, compile_trace
 from repro.program_compiler import compile_program, verify_compiled_program
 from repro.software_pipelining import (
     LOOPS,
@@ -42,6 +43,9 @@ from repro.software_pipelining import (
     pipeline_sweep,
 )
 from repro.workloads.kernels import KERNELS, kernel
+
+#: The one registry call every ``--method`` choice list is built from.
+METHODS = method_names()
 
 
 def _machine_from_args(args: argparse.Namespace) -> MachineModel:
@@ -229,8 +233,30 @@ def cmd_verify(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
     machine = _machine_from_args(args)
-    methods = args.methods or ["ursa", "prepass", "postpass", "goodman-hsu"]
+    methods = list(args.methods or default_compare_methods())
     results = compare_methods(trace, machine, methods=methods)
+    if getattr(args, "json", False):
+        import json as _json
+
+        payload: Dict[str, object] = {
+            "machine": machine.describe(),
+            "methods": [],
+        }
+        for method in methods:
+            result = results[method]
+            entry: Dict[str, object] = {
+                "method": method,
+                "stats": dict(zip(STATS_HEADERS, result.stats.row())),
+                "capabilities": resolve(method).capabilities(),
+                "verified": result.verified,
+            }
+            if result.backend_report is not None:
+                entry["backend_report"] = result.backend_report
+                if result.backend_report.get("backend") == "portfolio":
+                    entry["winner"] = result.backend_report.get("winner")
+            payload["methods"].append(entry)
+        print(_json.dumps(payload, indent=2))
+        return 0
     rows = [results[m].stats.row() for m in methods]
     print(format_table(STATS_HEADERS, rows, title=machine.describe()))
     return 0
@@ -505,6 +531,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="compare methods on one trace")
     _add_common(p)
     p.add_argument("--methods", nargs="+", choices=METHODS)
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable comparison: per-backend stats, declared "
+             "capabilities, and portfolio win attribution",
+    )
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("program", help="compile and run a whole program")

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.analysis.metrics import ScheduleStats
-from repro.core.allocator import AllocationResult, Policy, URSAAllocator
+from repro.core.allocator import AllocationResult, URSAAllocator
 from repro.core.codegen import lower_schedule
 from repro.graph.dag import DependenceDAG
 from repro.ir.instructions import Instruction
@@ -31,6 +31,12 @@ from repro.ir.trace import Trace
 from repro.machine.model import MachineModel
 from repro.machine.simulator import SimulationResult, VLIWSimulator
 from repro.machine.vliw import VLIWProgram
+from repro.methods import (
+    UnknownMethodError,
+    default_compare_methods,
+    method_names,
+    resolve,
+)
 from repro.pm import (
     PassManager,
     PassSpec,
@@ -39,32 +45,11 @@ from repro.pm import (
     verify_instrument,
 )
 from repro.pm.analysis import AnalysisManager
-from repro.scheduling.goodman_hsu import compile_goodman_hsu
-from repro.scheduling.list_scheduler import ListScheduler, Schedule
-from repro.scheduling.packer import pack_in_order
-from repro.scheduling.postpass import compile_postpass
-from repro.scheduling.prepass import compile_prepass
-from repro.scheduling.regalloc import LinearScanAllocator
+from repro.scheduling.list_scheduler import Schedule
 
-#: The compilation methods the harness can compare.
-METHODS = (
-    "ursa",
-    "ursa-phased",
-    "ursa-seq",
-    "ursa-spill",
-    "prepass",
-    "postpass",
-    "goodman-hsu",
-    "naive",
-    "spill-everywhere",
-)
-
-_URSA_POLICIES = {
-    "ursa": Policy.INTEGRATED,
-    "ursa-phased": Policy.PHASED,
-    "ursa-seq": Policy.SEQ_ONLY,
-    "ursa-spill": Policy.SPILL_ONLY,
-}
+#: The compilation methods the harness can compare — one registry call;
+#: every backend registered in ``repro.methods`` appears here.
+METHODS = method_names()
 
 
 class PipelineError(Exception):
@@ -87,6 +72,9 @@ class CompilationResult:
     #: Set by resilient compilation (``compile_trace(resilient=True)``):
     #: a :class:`repro.resilience.fallback.DegradationReport`.
     degradation: Optional[object] = None
+    #: Backend-specific attribution: the exact solver's optimality
+    #: certificate, the portfolio's win report (see docs/backends.md).
+    backend_report: Optional[Dict[str, object]] = None
 
     @property
     def cycles(self) -> int:
@@ -137,6 +125,7 @@ def compile_trace(
     transactional: bool = False,
     incremental: bool = True,
     analysis_manager: Optional[AnalysisManager] = None,
+    backend_options: Optional[Dict[str, object]] = None,
 ) -> CompilationResult:
     """Compile one trace with the chosen method.
 
@@ -174,9 +163,15 @@ def compile_trace(
     ``measure_all`` per candidate.  ``analysis_manager`` shares one
     version-keyed analysis cache across compiles (the whole-program
     compiler passes one per program).
+
+    ``backend_options`` is passed through to the resolved backend's
+    schedule pass (e.g. ``{"bnb_max_ops": 18}`` for ``bnb-exact``,
+    ``{"portfolio_members": (...)}`` for ``portfolio``).
     """
-    if method not in METHODS:
-        raise PipelineError(f"unknown method {method!r}; pick one of {METHODS}")
+    try:
+        resolve(method)
+    except UnknownMethodError as exc:
+        raise PipelineError(str(exc)) from exc
 
     if resilient:
         from repro.resilience.fallback import compile_with_fallback
@@ -198,6 +193,7 @@ def compile_trace(
             transactional=transactional,
             incremental=incremental,
             analysis_manager=analysis_manager,
+            backend_options=backend_options,
         )
     if deadline is not None:
         from repro.resilience.budgets import deadline_scope
@@ -206,12 +202,12 @@ def compile_trace(
             return _compile_once(
                 source, machine, method, live_out, verify, memory, seed,
                 optimize, assignment, static_checks, verify_each,
-                transactional, incremental, analysis_manager,
+                transactional, incremental, analysis_manager, backend_options,
             )
     return _compile_once(
         source, machine, method, live_out, verify, memory, seed, optimize,
         assignment, static_checks, verify_each, transactional, incremental,
-        analysis_manager,
+        analysis_manager, backend_options,
     )
 
 
@@ -240,8 +236,8 @@ _SPEC_ASSIGN = register_pass_spec(PassSpec(
 ))
 _SPEC_SCHEDULE = register_pass_spec(PassSpec(
     "schedule",
-    "baseline scheduling (prepass, postpass, goodman-hsu, naive, "
-    "spill-everywhere)",
+    "the resolved backend's schedule pass (baselines, the exact "
+    "bnb solver, the portfolio racer; see repro.methods)",
     requires=("dag",),
     provides=("schedule", "final_dag"),
 ))
@@ -274,7 +270,7 @@ def _pass_allocate(state: PipelineState) -> None:
     opts = state.options
     state.allocation = URSAAllocator(
         state.machine,
-        _URSA_POLICIES[state.method],
+        resolve(state.method).policy,
         verify_each=opts["verify_each"],
         transactional=opts["transactional"],
         incremental=opts["incremental"],
@@ -295,28 +291,9 @@ def _pass_assign(state: PipelineState) -> None:
 
 
 def _pass_schedule(state: PipelineState) -> None:
-    dag, machine, method = state.dag, state.machine, state.method
-    if method == "prepass":
-        state.schedule = compile_prepass(dag, machine)
-    elif method == "postpass":
-        state.schedule = compile_postpass(dag, machine)
-    elif method == "goodman-hsu":
-        state.schedule = compile_goodman_hsu(dag, machine)
-    elif method == "spill-everywhere":
-        from repro.resilience.fallback import spill_everywhere_schedule
-
-        state.schedule = spill_everywhere_schedule(dag, machine)
-    else:  # naive: allocate on source order, pack without reordering
-        order = dag.source_order or sorted(dag.op_nodes())
-        source_insts = [dag.instruction(uid) for uid in order]
-        live_ins = sorted(
-            name for name, d in dag.value_defs.items() if d == dag.entry
-        )
-        outcome = LinearScanAllocator(machine).run(
-            source_insts, live_ins=live_ins, live_outs=sorted(dag.live_out)
-        )
-        state.schedule = pack_in_order(outcome.instructions, machine, outcome)
-    state.final_dag = dag
+    # The backend's declared schedule pass owns the whole strategy
+    # (docs/backends.md); it fills state.schedule and state.final_dag.
+    resolve(state.method).schedule_pass(state)
 
 
 def _pass_static_checks(state: PipelineState) -> None:
@@ -367,7 +344,7 @@ def build_pipeline(
     """The pass pipeline ``compile_trace`` runs for ``method``."""
     manager = PassManager()
     manager.add(_SPEC_BUILD_DAG, _pass_build_dag)
-    if method in _URSA_POLICIES:
+    if resolve(method).policy is not None:
         manager.add(_SPEC_ALLOCATE, _pass_allocate)
         manager.add(_SPEC_ASSIGN, _pass_assign)
     else:
@@ -397,6 +374,7 @@ def _compile_once(
     transactional: bool,
     incremental: bool = True,
     analysis_manager: Optional[AnalysisManager] = None,
+    backend_options: Optional[Dict[str, object]] = None,
 ) -> CompilationResult:
     """One rung of compilation; no ladder, deadline comes from scope."""
 
@@ -427,6 +405,7 @@ def _compile_once(
             "verify_each": verify_each,
             "transactional": transactional,
             "incremental": incremental,
+            "backend": dict(backend_options or {}),
         },
         analysis_manager=analysis_manager or AnalysisManager(),
     )
@@ -450,16 +429,23 @@ def _compile_once(
         simulation=state.simulation,
         verified=state.verified,
         stats=stats,
+        backend_report=state.backend_report,
     )
 
 
 def compare_methods(
     source: Union[str, Sequence[Instruction], Trace, DependenceDAG],
     machine: MachineModel,
-    methods: Sequence[str] = ("ursa", "prepass", "postpass", "goodman-hsu"),
+    methods: Optional[Sequence[str]] = None,
     **kwargs,
 ) -> Dict[str, CompilationResult]:
-    """Compile the same trace with several methods (shared inputs)."""
+    """Compile the same trace with several methods (shared inputs).
+
+    ``methods`` defaults to the backends tagged ``default_compare`` in
+    the registry (``repro.methods.default_compare_methods``).
+    """
+    if methods is None:
+        methods = default_compare_methods()
     dag = build_dag(source, live_out=kwargs.pop("live_out", ()))
     return {
         method: compile_trace(dag, machine, method=method, **kwargs)

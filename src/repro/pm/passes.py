@@ -63,6 +63,9 @@ class PipelineState:
     program: Any = None
     simulation: Any = None
     verified: Optional[bool] = None
+    #: backend-specific attribution (exact-search certificate, portfolio
+    #: win report); set by schedule passes that have one to report.
+    backend_report: Optional[Dict[str, Any]] = None
 
 
 class Pass:

@@ -32,6 +32,7 @@ from repro.graph.dag import CycleError, DependenceDAG
 from repro.ir.instructions import Addr, Instruction, Var
 from repro.ir.opcodes import Opcode
 from repro.machine.model import MachineModel
+from repro.methods import ladder_for  # noqa: F401  (re-exported API)
 from repro.resilience.budgets import Deadline, DeadlineExpired, deadline_scope
 from repro.scheduling.list_scheduler import Schedule, ScheduleError
 from repro.scheduling.packer import pack_in_order
@@ -42,17 +43,11 @@ from repro.scheduling.regalloc import LinearScanAllocator, RegAllocError
 #: every ``%``-prefixed base is excluded from user-memory verification.
 SE_SPILL_BASE = "%spillse"
 
-#: Escalation order for the URSA policies.
-_LADDER = ("ursa", "ursa-phased", "ursa-spill", "spill-everywhere")
-
-
-def ladder_for(method: str) -> Tuple[str, ...]:
-    """The rung sequence tried for a requested method."""
-    if method in _LADDER:
-        return _LADDER[_LADDER.index(method):]
-    if method == "ursa-seq":
-        return ("ursa-seq", "ursa-spill", "spill-everywhere")
-    return (method, "spill-everywhere")
+# The ladder itself is declared per backend in ``repro.methods``
+# (``Backend.fallback`` successors); :func:`repro.methods.ladder_for`
+# replaces the hard-coded ``_LADDER`` tuple that used to live here and
+# raises ``UnknownMethodError`` for names the registry has never seen
+# instead of silently degrading them to ``(method, "spill-everywhere")``.
 
 
 # ======================================================================
@@ -228,6 +223,26 @@ def _first_line(exc: BaseException) -> str:
     return text.splitlines()[0] if text else type(exc).__name__
 
 
+def _attribution(result) -> str:
+    """One-line backend attribution for a winning rung.
+
+    Surfaces the exact solver's certificate and the portfolio's win
+    report in the :class:`DegradationReport` (the full structured form
+    stays on ``result.backend_report``).
+    """
+    report = getattr(result, "backend_report", None)
+    if not report:
+        return ""
+    backend = report.get("backend")
+    if backend == "portfolio":
+        exact = " (exact result delivered)" if report.get("exact_delivered") else ""
+        return f"portfolio winner: {report.get('winner')}{exact}"
+    if backend == "bnb-exact":
+        state = "proved optimal" if report.get("proved") else "best-so-far"
+        return f"bnb-exact: {state} at {report.get('length')} cycles"
+    return ""
+
+
 def compile_with_fallback(
     source,
     machine: MachineModel,
@@ -328,7 +343,14 @@ def compile_with_fallback(
                 )
 
         if not problems:
-            attempts.append(RungAttempt(rung, "ok", cycles=result.cycles))
+            attempts.append(
+                RungAttempt(
+                    rung,
+                    "ok",
+                    _attribution(result),
+                    cycles=result.cycles,
+                )
+            )
             final = result
             break
 

@@ -175,14 +175,13 @@ def _require_source(request: Dict[str, Any]) -> str:
 
 
 def _method_of(request: Dict[str, Any]) -> str:
-    from repro.pipeline import METHODS
+    from repro.methods import UnknownMethodError, resolve
 
     method = request.get("method", "ursa")
-    if method not in METHODS:
-        raise ProtocolError(
-            "bad_request", f"unknown method {method!r}; pick one of {METHODS}"
-        )
-    return method
+    try:
+        return resolve(method).name
+    except UnknownMethodError as exc:
+        raise ProtocolError("bad_request", str(exc))
 
 
 def _options_of(request: Dict[str, Any]) -> Dict[str, Any]:

@@ -253,10 +253,13 @@ class ServeApp:
 
     # -- observation ----------------------------------------------------
     def stats(self) -> Dict[str, Any]:
+        from repro.methods import catalogue
+
         counters = dict(sorted(self.observer.counters.items()))
         return {
             "ok": True,
             "counters": counters,
+            "methods": catalogue(),
             "cache": self.cache.stats() if self.cache is not None else None,
             "pool": self.pool.snapshot() if self.pool is not None else None,
             "service": {

@@ -111,6 +111,44 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "ursa" in out and "naive" in out and "prepass" not in out
 
+    def test_compare_json_round_trip(self, capsys):
+        import json
+
+        assert main(["compare", "--kernel", "figure2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        methods = {entry["method"]: entry for entry in payload["methods"]}
+        assert set(methods) == {"ursa", "prepass", "postpass", "goodman-hsu"}
+        for entry in methods.values():
+            assert entry["stats"]["cycles"] >= 1
+            assert isinstance(entry["capabilities"], dict)
+            assert "exact" in entry["capabilities"]
+            assert "always_feasible" in entry["capabilities"]
+
+    def test_compare_json_portfolio_attribution(self, capsys):
+        import json
+
+        assert main([
+            "compare", "--kernel", "figure2",
+            "--methods", "portfolio", "ursa", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        portfolio = next(
+            e for e in payload["methods"] if e["method"] == "portfolio"
+        )
+        assert portfolio["winner"] == (
+            portfolio["backend_report"]["winner"]
+        )
+        assert portfolio["backend_report"]["members"]
+
+    def test_unknown_method_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compile", "--kernel", "figure2", "--method", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        # argparse lists every registry method in the rejection
+        assert "bogus" in err
+        assert "ursa" in err and "spill-everywhere" in err
+
 
 class TestProgram:
     def test_program_runs_and_verifies(self, capsys, loop_file):

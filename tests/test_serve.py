@@ -312,6 +312,27 @@ class TestServer:
         stats = client.stats()
         assert stats["ok"] and stats["config"]["caching"]
 
+    def test_stats_report_method_catalogue(self, client):
+        from repro.methods import method_names
+
+        stats = client.stats()
+        entries = stats["methods"]
+        assert [e["name"] for e in entries] == list(method_names())
+        by_name = {e["name"]: e for e in entries}
+        assert by_name["bnb-exact"]["capabilities"]["exact"]
+        assert by_name["ursa"]["ladder"][-1] == "spill-everywhere"
+
+    def test_unknown_method_rejected_with_catalogue(self):
+        from repro.serve.protocol import handle_payload
+
+        status, body = handle_payload(
+            {"source": TRACE_SRC, "method": "bogus"}, cache=None
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+        assert "known methods" in body["error"]["message"]
+        assert "ursa" in body["error"]["message"]
+
     def test_trace_compile_and_hot_hit(self, client):
         first = client.compile_trace(
             TRACE_SRC, machine={"fus": 2, "regs": 4}, verify=True
